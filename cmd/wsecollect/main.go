@@ -1,0 +1,132 @@
+// Command wsecollect runs a single collective on the simulated wafer-scale
+// fabric and reports measured cycles, the model prediction, and the fabric
+// cost metrics (energy, contention).
+//
+// Examples:
+//
+//	wsecollect -collective reduce -alg autogen -p 512 -bytes 1024
+//	wsecollect -collective allreduce -alg auto -p 64 -bytes 4096 -op max
+//	wsecollect -collective reduce2d -alg2d snake -grid 32x32 -bytes 256
+//	wsecollect -collective broadcast -p 512 -bytes 16384
+//	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -thermal 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	wse "repro"
+)
+
+func main() {
+	collective := flag.String("collective", "reduce", "reduce, allreduce, broadcast, reduce2d, allreduce2d, broadcast2d")
+	alg := flag.String("alg", "auto", "1D algorithm: star, chain, tree, twophase, autogen, auto")
+	alg2d := flag.String("alg2d", "auto", "2D algorithm: xy-star, xy-chain, xy-tree, xy-twophase, xy-autogen, snake, auto")
+	p := flag.Int("p", 64, "row length for 1D collectives")
+	grid := flag.String("grid", "16x16", "grid WxH for 2D collectives")
+	bytes := flag.Int("bytes", 1024, "vector length in bytes (4 bytes per float32 wavelet)")
+	opName := flag.String("op", "sum", "reduction operator: sum, max, min")
+	tr := flag.Int("tr", 0, "ramp latency T_R (0 = WSE-2 default of 2)")
+	thermal := flag.Float64("thermal", 0, "thermal no-op rate (paper: wafer inserts no-ops to avoid cracking)")
+	skew := flag.Int64("skew", 0, "max per-PE clock skew in cycles")
+	seed := flag.Uint64("seed", 1, "deterministic seed for skew/thermal")
+	flag.Parse()
+
+	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "wsecollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64) error {
+	b := bytes / 4
+	if b < 1 {
+		return fmt.Errorf("vector must be at least 4 bytes")
+	}
+	var op wse.ReduceOp
+	switch opName {
+	case "sum":
+		op = wse.Sum
+	case "max":
+		op = wse.Max
+	case "min":
+		op = wse.Min
+	default:
+		return fmt.Errorf("unknown op %q", opName)
+	}
+	opt := wse.Options{TR: tr, ThermalNoopRate: thermal, ClockSkewMax: skew, Seed: seed}
+
+	var w, h int
+	if n, err := fmt.Sscanf(grid, "%dx%d", &w, &h); n != 2 || err != nil {
+		return fmt.Errorf("bad -grid %q (want WxH)", grid)
+	}
+
+	vec1d := make([][]float32, p)
+	for i := range vec1d {
+		vec1d[i] = constVec(b, 1)
+	}
+	vec2d := make([][]float32, w*h)
+	for i := range vec2d {
+		vec2d[i] = constVec(b, 1)
+	}
+
+	var rep *wse.Report
+	var err error
+	var shape string
+	switch strings.ToLower(collective) {
+	case "reduce":
+		rep, err = wse.Reduce(vec1d, wse.Algorithm(alg), op, opt)
+		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
+	case "allreduce":
+		rep, err = wse.AllReduce(vec1d, wse.Algorithm(alg), op, opt)
+		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
+	case "broadcast":
+		rep, err = wse.Broadcast(constVec(b, 1), p, opt)
+		shape = fmt.Sprintf("%dx1 PEs", p)
+	case "reduce2d":
+		rep, err = wse.Reduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op, opt)
+		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
+	case "allreduce2d":
+		rep, err = wse.AllReduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op, opt)
+		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
+	case "broadcast2d":
+		rep, err = wse.Broadcast2D(constVec(b, 1), w, h, opt)
+		shape = fmt.Sprintf("%dx%d PEs", w, h)
+	default:
+		return fmt.Errorf("unknown collective %q", collective)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s of %d bytes on %s\n", collective, bytes, shape)
+	fmt.Printf("  measured   %10d cycles (%.2f us at 850 MHz)\n", rep.Cycles, float64(rep.Cycles)/850)
+	fmt.Printf("  predicted  %10.0f cycles (%.1f%% relative error)\n", rep.Predicted,
+		100*abs(float64(rep.Cycles)-rep.Predicted)/float64(rep.Cycles))
+	fmt.Printf("  energy     %10d wavelet-hops\n", rep.Stats.Hops)
+	fmt.Printf("  contention %10d wavelets at the busiest PE\n", rep.Stats.MaxReceived)
+	if rep.Stats.Noops > 0 {
+		fmt.Printf("  thermal    %10d inserted no-ops\n", rep.Stats.Noops)
+	}
+	if len(rep.Root) > 0 {
+		fmt.Printf("  result[0]  %10.1f (expect PE count for all-ones reduce input)\n", rep.Root[0])
+	}
+	return nil
+}
+
+func constVec(n int, v float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

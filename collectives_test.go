@@ -1,0 +1,172 @@
+package wse
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	for _, p := range []int{2, 5, 16} {
+		for _, b := range []int{p, 3*p + 1, 16 * p} {
+			data := make([]float32, b)
+			for i := range data {
+				data[i] = float32(i) * 0.5
+			}
+			rep, err := Scatter(data, p, Options{})
+			if err != nil {
+				t.Fatalf("scatter p=%d b=%d: %v", p, b, err)
+			}
+			off, sz := Chunks(p, b)
+			chunks := make([][]float32, p)
+			for j := 0; j < p; j++ {
+				got := rep.All[Coord{X: j, Y: 0}]
+				chunk := got[:sz[j]]
+				for e := 0; e < sz[j]; e++ {
+					if chunk[e] != data[off[j]+e] {
+						t.Fatalf("p=%d b=%d chunk %d elem %d: %v want %v", p, b, j, e, chunk[e], data[off[j]+e])
+					}
+				}
+				chunks[j] = append([]float32(nil), chunk...)
+			}
+			// Gather the scattered chunks back: identity round trip.
+			rep2, err := Gather(chunks, Options{})
+			if err != nil {
+				t.Fatalf("gather p=%d b=%d: %v", p, b, err)
+			}
+			for i := range data {
+				if rep2.Root[i] != data[i] {
+					t.Fatalf("p=%d b=%d roundtrip elem %d: %v want %v", p, b, i, rep2.Root[i], data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterThenAllGatherEqualsAllReduce(t *testing.T) {
+	// The MPI identity: ReduceScatter ∘ AllGather == AllReduce.
+	for _, p := range []int{4, 8, 13} {
+		b := 4*p + 3
+		vecs, want := vectorsFor(p, b, int64(p))
+		rs, err := ReduceScatter(vecs, Sum, Options{})
+		if err != nil {
+			t.Fatalf("reduce-scatter p=%d: %v", p, err)
+		}
+		off, sz := Chunks(p, b)
+		chunks := make([][]float32, p)
+		for j := 0; j < p; j++ {
+			acc := rs.All[Coord{X: j, Y: 0}]
+			chunks[j] = append([]float32(nil), acc[off[j]:off[j]+sz[j]]...)
+			// Verify the reduce-scatter chunk itself.
+			for e := 0; e < sz[j]; e++ {
+				if d := math.Abs(float64(chunks[j][e] - want[off[j]+e])); d > 1e-2 {
+					t.Fatalf("p=%d chunk %d elem %d: %v want %v", p, j, e, chunks[j][e], want[off[j]+e])
+				}
+			}
+		}
+		ag, err := AllGather(chunks, Options{})
+		if err != nil {
+			t.Fatalf("allgather p=%d: %v", p, err)
+		}
+		for c, v := range ag.All {
+			requireClose(t, v, want, fmt.Sprintf("p=%d %v", p, c))
+		}
+	}
+}
+
+func TestAllReduceMidRoot(t *testing.T) {
+	for _, alg := range []Algorithm{Chain, Tree, TwoPhase, AutoGen, Auto} {
+		for _, p := range []int{2, 3, 9, 32} {
+			b := 24
+			vecs, want := vectorsFor(p, b, int64(p*7))
+			rep, err := AllReduceMidRoot(vecs, alg, Sum, Options{})
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", alg, p, err)
+			}
+			for c, v := range rep.All {
+				requireClose(t, v, want, fmt.Sprintf("%s p=%d %v", alg, p, c))
+			}
+		}
+	}
+}
+
+func TestMidRootBeatsEndRootForWideRows(t *testing.T) {
+	// The point of the optimisation: halved distance/depth terms. For a
+	// wide row and intermediate vectors the middle-root AllReduce should
+	// beat the end-rooted one with the same base pattern.
+	p, b := 129, 64
+	vecs, _ := vectorsFor(p, b, 3)
+	end, err := AllReduce(vecs, TwoPhase, Sum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := AllReduceMidRoot(vecs, TwoPhase, Sum, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Cycles >= end.Cycles {
+		t.Errorf("mid-root %d cycles, end-root %d: optimisation did not pay", mid.Cycles, end.Cycles)
+	}
+}
+
+func TestRingAllReducePublicAPI(t *testing.T) {
+	for _, alg := range []Algorithm{Ring, RingDP} {
+		p, b := 8, 64
+		vecs, want := vectorsFor(p, b, 11)
+		rep, err := AllReduce(vecs, alg, Sum, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for c, v := range rep.All {
+			requireClose(t, v, want, fmt.Sprintf("%s %v", alg, c))
+		}
+		if rep.Predicted <= 0 {
+			t.Errorf("%s: prediction %v", alg, rep.Predicted)
+		}
+	}
+	// Ring is AllReduce-only.
+	if _, err := Reduce([][]float32{{1}, {2}}, Ring, Sum, Options{}); err == nil {
+		t.Error("Reduce accepted the ring pattern")
+	}
+}
+
+func TestChunksProperty(t *testing.T) {
+	f := func(pRaw, bRaw uint16) bool {
+		p := int(pRaw%64) + 1
+		b := int(bRaw%2048) + p
+		off, sz := Chunks(p, b)
+		total := 0
+		for j := 0; j < p; j++ {
+			if sz[j] < b/p || sz[j] > b/p+1 {
+				return false
+			}
+			if off[j] != total {
+				return false
+			}
+			total += sz[j]
+		}
+		return total == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionPredictions(t *testing.T) {
+	for _, fn := range []func() float64{
+		func() float64 { return PredictScatter(64, 512, Options{}) },
+		func() float64 { return PredictGather(64, 512, Options{}) },
+		func() float64 { return PredictReduceScatter(64, 512, Options{}) },
+		func() float64 { return PredictAllGather(64, 512, Options{}) },
+		func() float64 { return PredictAllReduceMidRoot(TwoPhase, 64, 512, Options{}) },
+	} {
+		if v := fn(); v <= 0 || math.IsNaN(v) {
+			t.Errorf("prediction %v", v)
+		}
+	}
+	// Mid-root should predict better than end-root for wide rows.
+	if PredictAllReduceMidRoot(TwoPhase, 257, 64, Options{}) >= PredictAllReduce(TwoPhase, 257, 64, Options{}) {
+		t.Error("mid-root prediction not better for wide rows")
+	}
+}

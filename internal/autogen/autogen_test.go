@@ -1,0 +1,163 @@
+package autogen
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/lowerbound"
+	"repro/internal/model"
+)
+
+// fig1Grid is the parameter grid of Figure 1: rows 4..512 PEs (powers of
+// two), columns 2^2..2^15 bytes, i.e. 1..8192 wavelets.
+func fig1Grid() (ps, bs []int) {
+	for p := 4; p <= 512; p *= 2 {
+		ps = append(ps, p)
+	}
+	for b := 1; b <= 8192; b *= 2 {
+		bs = append(bs, b)
+	}
+	return
+}
+
+// TestFig1Claims checks the optimality-ratio claims of §5.7 / Figure 1:
+// Auto-Gen is at most 1.4× the lower bound everywhere; Two-Phase at most
+// 2.4×; the fixed patterns reach roughly 5.9× somewhere; and no algorithm
+// beats the lower bound.
+func TestFig1Claims(t *testing.T) {
+	ps, bs := fig1Grid()
+	tb := For(512)
+	lbt := lowerbound.For(512)
+	pr := model.Default()
+	worstAuto, worstTwoPhase, worstFixed := 0.0, 0.0, 0.0
+	for _, p := range ps {
+		for _, b := range bs {
+			lb := lbt.Time(p, b, pr.TR)
+			auto := tb.Time(p, b, pr.TR)
+			if r := auto / lb; r > worstAuto {
+				worstAuto = r
+			}
+			if auto < lb-1e-9 {
+				t.Errorf("autogen(%d,%d)=%v beats bound %v", p, b, auto, lb)
+			}
+			if r := pr.TwoPhaseReduce(p, b) / lb; r > worstTwoPhase {
+				worstTwoPhase = r
+			}
+			// Figure 1 evaluates star with the Lemma 5.1 form (energy
+			// term included); see model.StarReduceUpper.
+			fixed := func(name string) float64 {
+				if name == "star" {
+					return pr.StarReduceUpper(p, b)
+				}
+				return pr.Reduce1D(name, p, b)
+			}
+			bestFixed := fixed("star")
+			for _, name := range model.ReduceNames[1:] {
+				if v := fixed(name); v < bestFixed {
+					bestFixed = v
+				}
+			}
+			if auto > bestFixed+1e-6 {
+				t.Errorf("autogen(%d,%d)=%v worse than best fixed %v", p, b, auto, bestFixed)
+			}
+			for _, name := range model.ReduceNames {
+				if r := fixed(name) / lb; r > worstFixed {
+					worstFixed = r
+				}
+			}
+		}
+	}
+	if worstAuto > 1.45 {
+		t.Errorf("worst autogen/LB ratio %.3f, paper claims ≤1.4", worstAuto)
+	}
+	if worstTwoPhase > 2.45 {
+		t.Errorf("worst two-phase/LB ratio %.3f, paper claims ≤2.4", worstTwoPhase)
+	}
+	if worstFixed < 5.0 {
+		t.Errorf("worst fixed-pattern ratio %.3f, paper reports up to ~5.9", worstFixed)
+	}
+	t.Logf("worst ratios: autogen %.3f (paper 1.4), twophase %.3f (paper 2.4), fixed %.3f (paper 5.9)",
+		worstAuto, worstTwoPhase, worstFixed)
+}
+
+func TestTreesAreValidPreorder(t *testing.T) {
+	tb := For(128)
+	for _, p := range []int{1, 2, 3, 5, 16, 31, 64, 128} {
+		for _, b := range []int{1, 8, 64, 1024} {
+			tr := tb.Tree(p, b, model.Default().TR)
+			if tr.Len() != p {
+				t.Fatalf("tree(%d,%d) has %d vertices", p, b, tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("tree(%d,%d): %v", p, b, err)
+			}
+		}
+	}
+}
+
+func TestTreeRespectsPlanBudgets(t *testing.T) {
+	tb := For(256)
+	for _, p := range []int{4, 16, 100, 256} {
+		for _, b := range []int{1, 32, 512} {
+			plan := tb.Optimize(p, b, model.Default().TR)
+			tr := tb.Tree(p, b, model.Default().TR)
+			if d := tr.Depth(); d > plan.Depth {
+				t.Errorf("tree(%d,%d) depth %d exceeds plan depth %d", p, b, d, plan.Depth)
+			}
+			maxCh := 0
+			for _, ch := range tr.Children() {
+				if len(ch) > maxCh {
+					maxCh = len(ch)
+				}
+			}
+			if !plan.IsChain && maxCh > plan.Cont {
+				t.Errorf("tree(%d,%d) max children %d exceeds contention budget %d", p, b, maxCh, plan.Cont)
+			}
+		}
+	}
+}
+
+func TestPlanExtremes(t *testing.T) {
+	tb := For(512)
+	tr := model.Default().TR
+	// Scalar reduce on many PEs: the generator should pick a low-depth,
+	// high-contention (star-like) tree.
+	scalar := tb.Optimize(512, 1, tr)
+	if scalar.Depth > 8 {
+		t.Errorf("scalar plan depth %d, want star-like", scalar.Depth)
+	}
+	// Huge vectors: the chain must win (contention 1).
+	huge := tb.Optimize(512, 1<<20, tr)
+	if !huge.IsChain {
+		t.Errorf("huge-B plan is not chain: %+v", huge)
+	}
+}
+
+func TestEnergyMatchesKnownPatterns(t *testing.T) {
+	tb := For(64)
+	// Chain energy: one hop per link.
+	if got := tb.Energy(32, 31, 1); got != 31 {
+		t.Errorf("chain energy e(32,31,1)=%d, want 31", got)
+	}
+	// Star energy: message i travels i hops.
+	want := int64(0)
+	for i := 1; i < 16; i++ {
+		want += int64(i)
+	}
+	if got := tb.Energy(16, 1, 15); got != want {
+		t.Errorf("star energy e(16,1,15)=%d, want %d", got, want)
+	}
+}
+
+func TestTreeRunsOnSimulatorViaComm(t *testing.T) {
+	// The generated tree must satisfy the structural constraints the
+	// compiler enforces; a full end-to-end run lives in the wse package.
+	tb := For(64)
+	for _, p := range []int{7, 33, 64} {
+		tr := tb.Tree(p, 256, 2)
+		var c comm.Tree = tr
+		if err := c.Validate(); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+)
+
+// BuildBroadcast compiles the paper's flooding broadcast (§4.2) along a
+// path: the PE at path index 0 streams its accumulator; every router
+// duplicates the stream towards the far end of the path and up its own
+// ramp (hardware multicast at no cost), so the whole broadcast costs the
+// same as sending a single message (Lemma 4.1: T = B + P + 2T_R).
+//
+// Ops are appended to whatever program the PEs already have, which is how
+// AllReduce composes Reduce-then-Broadcast.
+func BuildBroadcast(spec *fabric.Spec, path mesh.Path, b int, color mesh.Color) error {
+	if err := path.Validate(); err != nil {
+		return err
+	}
+	if b <= 0 {
+		return fmt.Errorf("comm: vector length %d", b)
+	}
+	p := len(path)
+	if p == 1 {
+		return nil // nothing to broadcast to
+	}
+	for v := 0; v < p; v++ {
+		pe := spec.PE(path[v])
+		if v == 0 {
+			pe.Ops = append(pe.Ops, fabric.Op{Kind: fabric.OpSend, Color: color, N: b})
+			pe.AddConfig(color, fabric.RouterConfig{
+				Accept:  mesh.Ramp,
+				Forward: mesh.Dirs(path.TowardEnd(v)),
+			})
+			continue
+		}
+		pe.Ops = append(pe.Ops, fabric.Op{Kind: fabric.OpRecvStore, Color: color, N: b})
+		fwd := mesh.Dirs(mesh.Ramp)
+		if v < p-1 {
+			fwd = fwd.Set(path.TowardEnd(v))
+		}
+		pe.AddConfig(color, fabric.RouterConfig{
+			Accept:  path.TowardStart(v),
+			Forward: fwd,
+		})
+	}
+	return nil
+}
+
+// BuildBroadcast2D compiles the 2D flooding broadcast of §7.1: the root at
+// (0,0) streams east along row 0 while every row-0 router multicasts the
+// stream south down its column, reaching all M×N PEs with depth 1 and
+// distance M+N-2 (Lemma 7.1).
+func BuildBroadcast2D(spec *fabric.Spec, width, height, b int, color mesh.Color) error {
+	if b <= 0 {
+		return fmt.Errorf("comm: vector length %d", b)
+	}
+	if width < 1 || height < 1 {
+		return fmt.Errorf("comm: broadcast2d on %dx%d grid", width, height)
+	}
+	if width*height == 1 {
+		return nil
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			pe := spec.PE(mesh.Coord{X: x, Y: y})
+			var accept mesh.Direction
+			var fwd mesh.DirSet
+			switch {
+			case x == 0 && y == 0:
+				pe.Ops = append(pe.Ops, fabric.Op{Kind: fabric.OpSend, Color: color, N: b})
+				accept = mesh.Ramp
+				if width > 1 {
+					fwd = fwd.Set(mesh.East)
+				}
+				if height > 1 {
+					fwd = fwd.Set(mesh.South)
+				}
+			case y == 0: // row 0: flood east and fan south
+				pe.Ops = append(pe.Ops, fabric.Op{Kind: fabric.OpRecvStore, Color: color, N: b})
+				accept = mesh.West
+				fwd = mesh.Dirs(mesh.Ramp)
+				if x < width-1 {
+					fwd = fwd.Set(mesh.East)
+				}
+				if height > 1 {
+					fwd = fwd.Set(mesh.South)
+				}
+			default: // interior columns: flood south
+				pe.Ops = append(pe.Ops, fabric.Op{Kind: fabric.OpRecvStore, Color: color, N: b})
+				accept = mesh.North
+				fwd = mesh.Dirs(mesh.Ramp)
+				if y < height-1 {
+					fwd = fwd.Set(mesh.South)
+				}
+			}
+			pe.AddConfig(color, fabric.RouterConfig{Accept: accept, Forward: fwd})
+		}
+	}
+	return nil
+}

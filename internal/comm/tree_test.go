@@ -1,0 +1,125 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedTreesValid(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33, 100, 512} {
+		for name, tr := range map[string]Tree{
+			"star":     Star(p),
+			"chain":    Chain(p),
+			"binomial": Binomial(p),
+			"twophase": TwoPhase(p, 0),
+		} {
+			if p == 1 {
+				tr = Single()
+			}
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s(%d): %v", name, p, err)
+			}
+			if tr.Len() != p {
+				t.Errorf("%s(%d): %d vertices", name, p, tr.Len())
+			}
+		}
+	}
+}
+
+func TestTreeDepths(t *testing.T) {
+	if d := Star(64).Depth(); d != 1 {
+		t.Errorf("star depth %d", d)
+	}
+	if d := Chain(64).Depth(); d != 63 {
+		t.Errorf("chain depth %d", d)
+	}
+	if d := Binomial(64).Depth(); d != 6 {
+		t.Errorf("binomial depth %d", d)
+	}
+	// Lemma 5.4: two-phase depth is (S-1) + ceil(P/S) - 1 with S=ceil(√P).
+	if d := TwoPhase(64, 8).Depth(); d != 7+7 {
+		t.Errorf("twophase depth %d, want 14", d)
+	}
+}
+
+func TestTwoPhaseGroupsFromEnd(t *testing.T) {
+	// P=10, S=3: groups assigned from p9 backwards are {7,8,9}, {4,5,6},
+	// {1,2,3}, and the residual group {0} at the root.
+	tr := TwoPhase(10, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantParents := []int{-1, 0, 1, 2, 1, 4, 5, 4, 7, 8}
+	for v, want := range wantParents {
+		if tr.Parent[v] != want {
+			t.Errorf("parent[%d]=%d, want %d (full: %v)", v, tr.Parent[v], want, tr.Parent)
+			break
+		}
+	}
+}
+
+func TestBinomialMatchesRounds(t *testing.T) {
+	// Children of the root of an 8-PE binomial tree are 1, 2, 4 (the
+	// paper's round-by-round halving), received in that order.
+	ch := Binomial(8).Children()
+	want := []int{1, 2, 4}
+	if len(ch[0]) != len(want) {
+		t.Fatalf("root children %v", ch[0])
+	}
+	for i := range want {
+		if ch[0][i] != want[i] {
+			t.Fatalf("root children %v, want %v", ch[0], want)
+		}
+	}
+}
+
+// TestPreorderProperty is the property-based check of the pre-order
+// invariant all compiled trees rely on: every generator yields trees whose
+// subtrees are contiguous and whose children are received left to right.
+func TestPreorderProperty(t *testing.T) {
+	f := func(pRaw uint16, sRaw uint8, kind uint8) bool {
+		p := int(pRaw%1000) + 1
+		var tr Tree
+		switch kind % 4 {
+		case 0:
+			tr = Star(p)
+		case 1:
+			tr = Chain(p)
+		case 2:
+			tr = Binomial(p)
+		default:
+			tr = TwoPhase(p, int(sRaw%40))
+		}
+		if p == 1 {
+			tr = Single()
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	bad := []Tree{
+		{Parent: []int{}},
+		{Parent: []int{0}},           // root must be -1
+		{Parent: []int{-1, 2, 1}},    // parent after child
+		{Parent: []int{-1, 0, 0, 1}}, // child 3 of 1 breaks contiguity
+		{Parent: []int{-1, 0, 3, 0}}, // forward parent
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d accepted: %v", i, tr.Parent)
+		}
+	}
+}
+
+func TestTreeOfUnknownPattern(t *testing.T) {
+	if _, err := TreeOf("ring", 8); err == nil {
+		t.Error("ring is model-only and must not have a tree")
+	}
+	if _, err := TreeOf("chain", 0); err == nil {
+		t.Error("zero PEs accepted")
+	}
+}

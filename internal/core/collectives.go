@@ -1,0 +1,159 @@
+package core
+
+// Extension collectives beyond the paper's Reduce/AllReduce/Broadcast
+// set: Scatter, Gather, ReduceScatter, AllGather (chunked, ring-based)
+// and the middle-root AllReduce of §6.1's root-placement remark. They
+// complete the MPI-style collective suite on the same fabric substrate.
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+)
+
+// ScatterColor is the dedicated color of the scatter/gather streams.
+const scatterColor mesh.Color = 5
+
+// Chunks returns the balanced chunk offsets and sizes used by Scatter,
+// Gather, ReduceScatter and AllGather: chunk j belongs to PE j.
+func Chunks(p, b int) (off, sz []int) { return comm.Chunks(p, b) }
+
+// RunScatter delivers chunk j of data to PE j along a row of p PEs
+// (chunk 0 stays at the root). Report.All[pe] holds each PE's chunk.
+func RunScatter(data []float32, p int, opt fabric.Options) (*Report, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("core: scatter needs at least 2 PEs")
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	if err := comm.BuildScatter(spec, path, len(data), scatterColor); err != nil {
+		return nil, err
+	}
+	spec.PE(path[0]).Init = data
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).Scatter(p, len(data))), nil
+}
+
+// RunGather assembles per-PE chunks into the full vector at the root.
+// chunks[j] is PE j's contribution; sizes must follow Chunks.
+func RunGather(chunks [][]float32, opt fabric.Options) (*Report, error) {
+	p := len(chunks)
+	if p < 2 {
+		return nil, fmt.Errorf("core: gather needs at least 2 PEs")
+	}
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	_, sz := comm.Chunks(p, b)
+	for j, c := range chunks {
+		if len(c) != sz[j] {
+			return nil, fmt.Errorf("core: chunk %d has %d elements, want %d", j, len(c), sz[j])
+		}
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	if err := comm.BuildGather(spec, path, b, scatterColor); err != nil {
+		return nil, err
+	}
+	for j, c := range path {
+		spec.PE(c).Init = chunks[j]
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).Gather(p, b)), nil
+}
+
+// RunReduceScatter combines one vector per PE elementwise and leaves
+// chunk j of the combination on PE j (at its chunk offset within
+// Report.All[pe]).
+func RunReduceScatter(vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	p := len(vectors)
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	if err := comm.BuildReduceScatter(spec, path, b, comm.RingSimple, op); err != nil {
+		return nil, err
+	}
+	for i, c := range path {
+		spec.PE(c).Init = vectors[i]
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).ReduceScatter(p, b)), nil
+}
+
+// RunAllGather distributes per-PE chunks so every PE ends with the full
+// vector. chunks[j] is PE j's contribution; sizes must follow Chunks.
+func RunAllGather(chunks [][]float32, opt fabric.Options) (*Report, error) {
+	p := len(chunks)
+	if p < 2 {
+		return nil, fmt.Errorf("core: allgather needs at least 2 PEs")
+	}
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	off, sz := comm.Chunks(p, b)
+	for j, c := range chunks {
+		if len(c) != sz[j] {
+			return nil, fmt.Errorf("core: chunk %d has %d elements, want %d", j, len(c), sz[j])
+		}
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	if err := comm.BuildAllGather(spec, path, b, comm.RingSimple); err != nil {
+		return nil, err
+	}
+	for j, c := range path {
+		init := make([]float32, b)
+		copy(init[off[j]:], chunks[j])
+		spec.PE(c).Init = init
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).AllGather(p, b)), nil
+}
+
+// RunAllReduceMidRoot runs the middle-root AllReduce: both row halves
+// reduce into the middle PE concurrently and the result floods out in
+// both directions — the root-placement optimisation of §6.1.
+func RunAllReduceMidRoot(pattern Pattern, vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	p := len(vectors)
+	tr := Params(opt).TR
+	if pattern == Auto {
+		pattern, _ = BestReduce1D(p/2+1, b, tr)
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	treeFor := func(n int) (comm.Tree, error) { return TreeFor(pattern, n, b, tr) }
+	if err := comm.BuildAllReduceMidRoot(spec, path, b, treeFor, op); err != nil {
+		return nil, err
+	}
+	for i, c := range path {
+		spec.PE(c).Init = vectors[i]
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).MidRootAllReduce(string(pattern), p, b)), nil
+}

@@ -1,0 +1,264 @@
+// Package core orchestrates the paper's collectives: it maps algorithm
+// names to reduction trees, compiles them to fabric programs via comm,
+// predicts their runtime with the performance model, and runs them on the
+// fabric simulator. The public wse package and the experiment harness are
+// thin layers over this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/autogen"
+	"repro/internal/comm"
+	"repro/internal/fabric"
+	"repro/internal/lowerbound"
+	"repro/internal/mesh"
+	"repro/internal/model"
+)
+
+// Pattern names a 1D Reduce/AllReduce algorithm.
+type Pattern string
+
+// The 1D patterns of §5. Auto selects the best pattern (including
+// Auto-Gen) for the given P and B using the performance model, which is
+// the paper's model-driven deployment mode.
+const (
+	Star     Pattern = "star"
+	Chain    Pattern = "chain" // the vendor's pattern
+	Tree     Pattern = "tree"
+	TwoPhase Pattern = "twophase"
+	AutoGen  Pattern = "autogen"
+	Auto     Pattern = "auto"
+	// Ring and RingDP are AllReduce-only: the classic ring algorithm
+	// (§6.2) in its simple and distance-preserving mappings (Figure 7).
+	// The paper models ring and shows it only wins for tiny PE counts
+	// with huge vectors, so it skips the implementation; this
+	// reproduction implements it to verify that verdict experimentally.
+	Ring   Pattern = "ring"
+	RingDP Pattern = "ring-dp"
+)
+
+// Patterns1D lists the concrete (runnable) 1D patterns.
+var Patterns1D = []Pattern{Star, Chain, Tree, TwoPhase, AutoGen}
+
+// Params bundles the model parameterisation used for predictions.
+func Params(opt fabric.Options) model.Params {
+	tr := opt.TR
+	switch {
+	case tr == 0:
+		tr = fabric.DefaultTR
+	case tr < 0:
+		tr = 0
+	}
+	return model.Params{TR: tr}
+}
+
+// TreeFor returns the reduction tree of a concrete pattern for p PEs and
+// vector length b (b matters only for AutoGen, whose tree is optimised
+// per input size, and Auto).
+func TreeFor(pattern Pattern, p, b, tr int) (comm.Tree, error) {
+	if p < 1 {
+		return comm.Tree{}, fmt.Errorf("core: %d PEs", p)
+	}
+	if p == 1 {
+		return comm.Single(), nil
+	}
+	switch pattern {
+	case Star, Chain, Tree, TwoPhase:
+		return comm.TreeOf(string(pattern), p)
+	case AutoGen:
+		return autogen.For(p).Tree(p, b, tr), nil
+	case Auto:
+		best, _ := BestReduce1D(p, b, tr)
+		return TreeFor(best, p, b, tr)
+	}
+	return comm.Tree{}, fmt.Errorf("core: unknown pattern %q", pattern)
+}
+
+// PredictReduce1D returns the model's runtime estimate in cycles.
+func PredictReduce1D(pattern Pattern, p, b, tr int) float64 {
+	pr := model.Params{TR: tr}
+	switch pattern {
+	case Star, Chain, Tree, TwoPhase:
+		return pr.Reduce1D(string(pattern), p, b)
+	case AutoGen:
+		return autogen.For(p).Time(p, b, tr)
+	case Auto:
+		_, t := BestReduce1D(p, b, tr)
+		return t
+	}
+	return 0
+}
+
+// PredictAllReduce1D is the Reduce-then-Broadcast estimate, or Lemma
+// 6.1's ring estimate for the ring patterns (the model assigns both
+// mappings the same cost).
+func PredictAllReduce1D(pattern Pattern, p, b, tr int) float64 {
+	if pattern == Ring || pattern == RingDP {
+		return model.Params{TR: tr}.RingAllReduce(p, b)
+	}
+	return PredictReduce1D(pattern, p, b, tr) + model.Params{TR: tr}.Broadcast1D(p, b)
+}
+
+// BestReduce1D picks the concrete pattern with the lowest predicted
+// Reduce runtime, the choice the paper's code generator deploys.
+func BestReduce1D(p, b, tr int) (Pattern, float64) {
+	best, bestT := AutoGen, PredictReduce1D(AutoGen, p, b, tr)
+	for _, pat := range []Pattern{Star, Chain, Tree, TwoPhase} {
+		if t := PredictReduce1D(pat, p, b, tr); t < bestT {
+			best, bestT = pat, t
+		}
+	}
+	return best, bestT
+}
+
+// LowerBound1D is the paper's Reduce runtime lower bound T*(p,b).
+func LowerBound1D(p, b, tr int) float64 {
+	return lowerbound.For(p).Time(p, b, tr)
+}
+
+// Report is the outcome of running a collective on the fabric simulator.
+type Report struct {
+	// Cycles is the measured simulated runtime.
+	Cycles int64
+	// Predicted is the performance model's estimate for the same run.
+	Predicted float64
+	// Root holds the reduction result at the root PE (Reduce) or the
+	// vector every PE holds (Broadcast/AllReduce).
+	Root []float32
+	// All maps every PE to its final accumulator.
+	All map[mesh.Coord][]float32
+	// Stats carries the measured cost metrics (energy, contention, ...).
+	Stats fabric.Stats
+}
+
+func vecLen(vectors [][]float32) (int, error) {
+	if len(vectors) == 0 {
+		return 0, fmt.Errorf("core: no input vectors")
+	}
+	b := len(vectors[0])
+	if b == 0 {
+		return 0, fmt.Errorf("core: empty vectors")
+	}
+	for i, v := range vectors {
+		if len(v) != b {
+			return 0, fmt.Errorf("core: vector %d has length %d, want %d", i, len(v), b)
+		}
+	}
+	return b, nil
+}
+
+// BuildReduce1DInto compiles a 1D Reduce for p PEs into spec (a p×1
+// region) without initial data; callers set Init per PE afterwards.
+func BuildReduce1DInto(spec *fabric.Spec, pattern Pattern, p, b, tr int, op fabric.ReduceOp) error {
+	tree, err := TreeFor(pattern, p, b, tr)
+	if err != nil {
+		return err
+	}
+	return comm.BuildReduce1D(spec, mesh.Row(0, 0, p), tree, b, op)
+}
+
+// BuildAllReduce1DInto compiles a 1D Reduce-then-Broadcast into spec, or
+// the ring algorithm for the ring patterns.
+func BuildAllReduce1DInto(spec *fabric.Spec, pattern Pattern, p, b, tr int, op fabric.ReduceOp) error {
+	switch pattern {
+	case Ring:
+		return comm.BuildRingAllReduce(spec, mesh.Row(0, 0, p), b, comm.RingSimple, op)
+	case RingDP:
+		return comm.BuildRingAllReduce(spec, mesh.Row(0, 0, p), b, comm.RingDistancePreserving, op)
+	}
+	tree, err := TreeFor(pattern, p, b, tr)
+	if err != nil {
+		return err
+	}
+	return comm.BuildAllReduce1D(spec, mesh.Row(0, 0, p), tree, b, op)
+}
+
+// RunReduce1D reduces one vector per PE along a row of len(vectors) PEs to
+// the leftmost PE on the fabric simulator.
+func RunReduce1D(pattern Pattern, vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	p := len(vectors)
+	tr := Params(opt).TR
+	spec := fabric.NewSpec(p, 1)
+	if err := BuildReduce1DInto(spec, pattern, p, b, tr, op); err != nil {
+		return nil, err
+	}
+	for i, c := range mesh.Row(0, 0, p) {
+		spec.PE(c).Init = vectors[i]
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, PredictReduce1D(pattern, p, b, tr)), nil
+}
+
+// RunAllReduce1D runs Reduce-then-Broadcast AllReduce along a row.
+func RunAllReduce1D(pattern Pattern, vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	p := len(vectors)
+	tr := Params(opt).TR
+	spec := fabric.NewSpec(p, 1)
+	if err := BuildAllReduce1DInto(spec, pattern, p, b, tr, op); err != nil {
+		return nil, err
+	}
+	for i, c := range mesh.Row(0, 0, p) {
+		spec.PE(c).Init = vectors[i]
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, PredictAllReduce1D(pattern, p, b, tr)), nil
+}
+
+// RunBroadcast1D floods data from the leftmost PE of a row of p PEs.
+func RunBroadcast1D(data []float32, p int, opt fabric.Options) (*Report, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty vector")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("core: %d PEs", p)
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+	if p > 1 {
+		if err := comm.BuildBroadcast(spec, path, len(data), comm.ColorBcast); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range path {
+		spec.PE(c) // materialise every PE even when p == 1
+	}
+	spec.PE(path[0]).Init = data
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).Broadcast1D(p, len(data))), nil
+}
+
+func runSpec(spec *fabric.Spec, opt fabric.Options) (*fabric.Result, error) {
+	f, err := fabric.New(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run()
+}
+
+func report(res *fabric.Result, predicted float64) *Report {
+	return &Report{
+		Cycles:    res.Cycles,
+		Predicted: predicted,
+		Root:      res.Acc[mesh.Coord{X: 0, Y: 0}],
+		All:       res.Acc,
+		Stats:     res.Stats,
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+)
+
+func TestTreeForAllPatterns(t *testing.T) {
+	for _, pat := range Patterns1D {
+		for _, p := range []int{1, 2, 7, 64} {
+			tr, err := TreeFor(pat, p, 32, fabric.DefaultTR)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", pat, p, err)
+			}
+			if tr.Len() != p {
+				t.Errorf("%s p=%d: %d vertices", pat, p, tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s p=%d: %v", pat, p, err)
+			}
+		}
+	}
+	if _, err := TreeFor("nonsense", 8, 1, 2); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+	if _, err := TreeFor(Ring, 8, 32, 2); err == nil {
+		t.Error("ring must not have a reduction tree")
+	}
+}
+
+func TestAutoSelectsModelWinner(t *testing.T) {
+	for _, tc := range []struct {
+		p, b int
+	}{{512, 1}, {512, 4096}, {16, 16}, {64, 256}} {
+		best, bestT := BestReduce1D(tc.p, tc.b, fabric.DefaultTR)
+		for _, pat := range Patterns1D {
+			if v := PredictReduce1D(pat, tc.p, tc.b, fabric.DefaultTR); v < bestT-1e-9 {
+				t.Errorf("p=%d b=%d: %s (%v) beats selected %s (%v)", tc.p, tc.b, pat, v, best, bestT)
+			}
+		}
+	}
+}
+
+func TestAutoSelectionRegimes(t *testing.T) {
+	// §5.7: star-like at scalars, chain at huge vectors.
+	tr := fabric.DefaultTR
+	if best, _ := BestReduce1D(512, 1<<20, tr); best != Chain && best != AutoGen {
+		t.Errorf("huge-B winner %s", best)
+	}
+	// AutoGen never loses by construction; a concrete named pattern must
+	// be within its own region prediction.
+	if v := PredictReduce1D(AutoGen, 512, 256, tr); v > PredictReduce1D(TwoPhase, 512, 256, tr) {
+		t.Error("autogen worse than twophase at its home shape")
+	}
+}
+
+func TestParamsResolution(t *testing.T) {
+	if Params(fabric.Options{}).TR != fabric.DefaultTR {
+		t.Error("zero options should give the WSE-2 ramp latency")
+	}
+	if Params(fabric.Options{TR: -1}).TR != 0 {
+		t.Error("negative TR should resolve to zero")
+	}
+	if Params(fabric.Options{TR: 5}).TR != 5 {
+		t.Error("explicit TR ignored")
+	}
+}
+
+func TestPredict2DConsistency(t *testing.T) {
+	pr := model.Default()
+	// X-Y composition equals two 1D reduces.
+	got := PredictReduce2D(XYTwoPhase, 32, 16, 64, pr.TR)
+	want := PredictReduce1D(TwoPhase, 32, 64, pr.TR) + PredictReduce1D(TwoPhase, 16, 64, pr.TR)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("xy composition %v != %v", got, want)
+	}
+	// Snake equals chain over the whole grid.
+	if PredictReduce2D(Snake, 8, 4, 64, pr.TR) != pr.ChainReduce(32, 64) {
+		t.Error("snake prediction mismatch")
+	}
+	// Best2D never worse than any candidate.
+	_, bestT := BestReduce2D(64, 64, 256, pr.TR)
+	for _, pat := range Patterns2D {
+		if v := PredictReduce2D(pat, 64, 64, 256, pr.TR); v < bestT-1e-9 {
+			t.Errorf("%s (%v) beats selected (%v)", pat, v, bestT)
+		}
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	if _, err := RunReduce1D(Chain, nil, fabric.OpSum, fabric.Options{}); err == nil {
+		t.Error("nil vectors accepted")
+	}
+	if _, err := RunReduce1D(Chain, [][]float32{{1, 2}, {3}}, fabric.OpSum, fabric.Options{}); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+	if _, err := RunReduce1D(Chain, [][]float32{{}}, fabric.OpSum, fabric.Options{}); err == nil {
+		t.Error("empty vectors accepted")
+	}
+	if _, err := RunReduce2D(XYChain, 2, 2, [][]float32{{1}}, fabric.OpSum, fabric.Options{}); err == nil {
+		t.Error("wrong grid vector count accepted")
+	}
+	if _, err := RunScatter([]float32{1, 2}, 1, fabric.Options{}); err == nil {
+		t.Error("1-PE scatter accepted")
+	}
+	if _, err := RunGather([][]float32{{1}, {2, 3}}, fabric.Options{}); err == nil {
+		t.Error("misshapen gather chunks accepted")
+	}
+}
+
+func TestSinglePECollectives(t *testing.T) {
+	rep, err := RunReduce1D(Auto, [][]float32{{4, 5}}, fabric.OpSum, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Root[0] != 4 || rep.Root[1] != 5 {
+		t.Errorf("1-PE reduce result %v", rep.Root)
+	}
+	if rep.Cycles != 0 {
+		t.Errorf("1-PE reduce took %d cycles", rep.Cycles)
+	}
+	rb, err := RunBroadcast1D([]float32{7}, 1, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Root[0] != 7 {
+		t.Errorf("1-PE broadcast result %v", rb.Root)
+	}
+}
+
+func TestReportStats(t *testing.T) {
+	vecs := make([][]float32, 16)
+	for i := range vecs {
+		vecs[i] = []float32{1, 1, 1, 1}
+	}
+	rep, err := RunReduce1D(Star, vecs, fabric.OpSum, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Star energy: (b+1 wavelets) × Σ distance i = 5 × 120.
+	if rep.Stats.Hops != 5*120 {
+		t.Errorf("energy %d, want %d", rep.Stats.Hops, 5*120)
+	}
+	if rep.Stats.MaxReceived != 4*15 {
+		t.Errorf("contention %d, want %d", rep.Stats.MaxReceived, 60)
+	}
+	if rep.Predicted <= 0 || rep.Cycles <= 0 {
+		t.Error("missing prediction or cycles")
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+	"repro/internal/model"
+)
+
+// Pattern2D names a 2D Reduce/AllReduce mapping (§7).
+type Pattern2D string
+
+// The 2D patterns: X-Y compositions of each 1D pattern (rows first, then
+// column 0) plus the Snake chain over the whole grid. XYChain is the
+// vendor baseline of Figures 10 and 13.
+const (
+	XYStar     Pattern2D = "xy-star"
+	XYChain    Pattern2D = "xy-chain"
+	XYTree     Pattern2D = "xy-tree"
+	XYTwoPhase Pattern2D = "xy-twophase"
+	XYAutoGen  Pattern2D = "xy-autogen"
+	Snake      Pattern2D = "snake"
+	Auto2D     Pattern2D = "auto"
+)
+
+// Patterns2D lists the concrete (runnable) 2D patterns.
+var Patterns2D = []Pattern2D{XYStar, XYChain, XYTree, XYTwoPhase, XYAutoGen, Snake}
+
+// base1D returns the 1D pattern underlying an X-Y composition.
+func (p Pattern2D) base1D() (Pattern, bool) {
+	switch p {
+	case XYStar:
+		return Star, true
+	case XYChain:
+		return Chain, true
+	case XYTree:
+		return Tree, true
+	case XYTwoPhase:
+		return TwoPhase, true
+	case XYAutoGen:
+		return AutoGen, true
+	}
+	return "", false
+}
+
+// PredictReduce2D estimates a 2D Reduce on a width×height grid: X-Y
+// patterns cost a row reduce plus a column reduce (§7.2); Snake costs a
+// chain over all PEs (§7.3).
+func PredictReduce2D(pattern Pattern2D, width, height, b, tr int) float64 {
+	pr := model.Params{TR: tr}
+	if pattern == Snake {
+		return pr.SnakeReduce(height, width, b)
+	}
+	if pattern == Auto2D {
+		_, t := BestReduce2D(width, height, b, tr)
+		return t
+	}
+	base, ok := pattern.base1D()
+	if !ok {
+		return 0
+	}
+	return PredictReduce1D(base, width, b, tr) + PredictReduce1D(base, height, b, tr)
+}
+
+// PredictAllReduce2D adds the 2D flooding broadcast (§7.4).
+func PredictAllReduce2D(pattern Pattern2D, width, height, b, tr int) float64 {
+	return PredictReduce2D(pattern, width, height, b, tr) +
+		model.Params{TR: tr}.Broadcast2D(height, width, b)
+}
+
+// BestReduce2D picks the concrete 2D pattern with the lowest predicted
+// runtime.
+func BestReduce2D(width, height, b, tr int) (Pattern2D, float64) {
+	best, bestT := Pattern2D(""), 0.0
+	for _, pat := range Patterns2D {
+		t := PredictReduce2D(pat, width, height, b, tr)
+		if best == "" || t < bestT {
+			best, bestT = pat, t
+		}
+	}
+	return best, bestT
+}
+
+// BuildReduce2DInto compiles a 2D Reduce into spec without initial data.
+func BuildReduce2DInto(spec *fabric.Spec, pattern Pattern2D, width, height, b, tr int, op fabric.ReduceOp) error {
+	return buildReduce2D(spec, pattern, width, height, b, tr, op)
+}
+
+// BuildAllReduce2DInto compiles a 2D Reduce plus 2D broadcast into spec.
+func BuildAllReduce2DInto(spec *fabric.Spec, pattern Pattern2D, width, height, b, tr int, op fabric.ReduceOp) error {
+	if err := buildReduce2D(spec, pattern, width, height, b, tr, op); err != nil {
+		return err
+	}
+	return comm.BuildBroadcast2D(spec, width, height, b, comm.ColorBcast2)
+}
+
+// buildReduce2D compiles a 2D reduce into spec.
+func buildReduce2D(spec *fabric.Spec, pattern Pattern2D, width, height, b, tr int, op fabric.ReduceOp) error {
+	if pattern == Snake {
+		return comm.BuildReduceSnake(spec, width, height, b, op)
+	}
+	base, ok := pattern.base1D()
+	if !ok {
+		return fmt.Errorf("core: unknown 2D pattern %q", pattern)
+	}
+	rowTree, err := TreeFor(base, width, b, tr)
+	if err != nil {
+		return err
+	}
+	colTree, err := TreeFor(base, height, b, tr)
+	if err != nil {
+		return err
+	}
+	return comm.BuildReduceXY(spec, width, height, rowTree, colTree, b, op)
+}
+
+func gridInit(spec *fabric.Spec, width, height int, vectors [][]float32) error {
+	if len(vectors) != width*height {
+		return fmt.Errorf("core: %d vectors for a %dx%d grid", len(vectors), width, height)
+	}
+	i := 0
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			spec.PE(mesh.Coord{X: x, Y: y}).Init = vectors[i]
+			i++
+		}
+	}
+	return nil
+}
+
+// RunReduce2D reduces one vector per PE (row-major) on a width×height
+// grid to PE (0,0) on the fabric simulator.
+func RunReduce2D(pattern Pattern2D, width, height int, vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	tr := Params(opt).TR
+	if pattern == Auto2D {
+		pattern, _ = BestReduce2D(width, height, b, tr)
+	}
+	spec := fabric.NewSpec(width, height)
+	if err := buildReduce2D(spec, pattern, width, height, b, tr, op); err != nil {
+		return nil, err
+	}
+	if err := gridInit(spec, width, height, vectors); err != nil {
+		return nil, err
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, PredictReduce2D(pattern, width, height, b, tr)), nil
+}
+
+// RunAllReduce2D runs a 2D Reduce followed by the 2D flooding broadcast.
+func RunAllReduce2D(pattern Pattern2D, width, height int, vectors [][]float32, op fabric.ReduceOp, opt fabric.Options) (*Report, error) {
+	b, err := vecLen(vectors)
+	if err != nil {
+		return nil, err
+	}
+	tr := Params(opt).TR
+	if pattern == Auto2D {
+		pattern, _ = BestReduce2D(width, height, b, tr)
+	}
+	spec := fabric.NewSpec(width, height)
+	if err := buildReduce2D(spec, pattern, width, height, b, tr, op); err != nil {
+		return nil, err
+	}
+	if err := comm.BuildBroadcast2D(spec, width, height, b, comm.ColorBcast2); err != nil {
+		return nil, err
+	}
+	if err := gridInit(spec, width, height, vectors); err != nil {
+		return nil, err
+	}
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, PredictAllReduce2D(pattern, width, height, b, tr)), nil
+}
+
+// RunBroadcast2D floods data from (0,0) across a width×height grid.
+func RunBroadcast2D(data []float32, width, height int, opt fabric.Options) (*Report, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty vector")
+	}
+	spec := fabric.NewSpec(width, height)
+	if err := comm.BuildBroadcast2D(spec, width, height, len(data), comm.ColorBcast2); err != nil {
+		return nil, err
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			spec.PE(mesh.Coord{X: x, Y: y})
+		}
+	}
+	spec.PE(mesh.Coord{}).Init = data
+	res, err := runSpec(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return report(res, Params(opt).Broadcast2D(height, width, len(data))), nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tiny returns a scaled-down configuration for unit tests: shapes small
+// enough to run the whole figure set in seconds while still exercising
+// every code path.
+func Tiny() Config {
+	cfg := Quick()
+	cfg.P1D = 128
+	cfg.Bs = []int{1, 16, 128}
+	cfg.FixedB = 64
+	cfg.Ps = []int{4, 16, 64, 128}
+	cfg.Side2D = 8
+	cfg.Sides2D = []int{4, 8}
+	cfg.StarBCap = 128
+	return cfg
+}
+
+// Report is the full regenerated evaluation.
+type Report struct {
+	Heatmaps []*Heatmap
+	Figures  []*Figure
+	Claims   []HeadlineClaim
+}
+
+// RunAll regenerates every figure of the paper's evaluation with the
+// given configuration. Model-only figures always run at the paper's full
+// scale; measured figures follow cfg.
+func (cfg Config) RunAll() (*Report, error) {
+	rep := &Report{}
+	rep.Heatmaps = append(rep.Heatmaps, Fig1()...)
+	rep.Heatmaps = append(rep.Heatmaps, Fig8(), Fig8AutoGen(), Fig10())
+
+	f11a, err := cfg.Fig11a()
+	if err != nil {
+		return nil, fmt.Errorf("fig11a: %w", err)
+	}
+	f11b, err := cfg.Fig11b()
+	if err != nil {
+		return nil, fmt.Errorf("fig11b: %w", err)
+	}
+	f11c, err := cfg.Fig11c()
+	if err != nil {
+		return nil, fmt.Errorf("fig11c: %w", err)
+	}
+	f12a, err := cfg.Fig12a()
+	if err != nil {
+		return nil, fmt.Errorf("fig12a: %w", err)
+	}
+	f12b, err := cfg.Fig12b()
+	if err != nil {
+		return nil, fmt.Errorf("fig12b: %w", err)
+	}
+	f12c, err := cfg.Fig12c()
+	if err != nil {
+		return nil, fmt.Errorf("fig12c: %w", err)
+	}
+	f13a, err := cfg.Fig13a()
+	if err != nil {
+		return nil, fmt.Errorf("fig13a: %w", err)
+	}
+	f13b, err := cfg.Fig13b()
+	if err != nil {
+		return nil, fmt.Errorf("fig13b: %w", err)
+	}
+	f13c, err := cfg.Fig13c()
+	if err != nil {
+		return nil, fmt.Errorf("fig13c: %w", err)
+	}
+	f13am := cfg.Fig13Model512(false)
+	f13bm := cfg.Fig13Model512(true)
+	ringFig, err := cfg.RingValidation()
+	if err != nil {
+		return nil, fmt.Errorf("ring validation: %w", err)
+	}
+	rep.Figures = append(rep.Figures,
+		f11a, f11b, f11c, f12a, f12b, f12c, f13a, f13b, f13c, f13am, f13bm, ringFig)
+	rep.Claims = Headline(f11b, f11c, f13am, f13bm)
+	return rep, nil
+}
+
+// Render formats the whole report as text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	for _, h := range r.Heatmaps {
+		b.WriteString(h.Render())
+		b.WriteString("\n")
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.Table())
+		b.WriteString("\n")
+	}
+	b.WriteString(RenderHeadline(r.Claims))
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/measure"
+	"repro/internal/mesh"
+)
+
+// Config governs the simulated ("measured") experiments.
+type Config struct {
+	// Opt parameterises the fabric. The default enables per-PE clock skew
+	// so the §8.3 calibration has real work to do.
+	Opt fabric.Options
+	// Calibrate selects the §8.3 measurement harness (trigger broadcast,
+	// α-calibrated staggered starts, calibrated clocks). When false the
+	// raw synchronous-start cycle count of the simulator is used.
+	Calibrate bool
+	// P1D is the row length of the Figure 11 sweeps (the paper uses 512,
+	// the largest power-of-two row).
+	P1D int
+	// Bs are the vector lengths (in wavelets) of the B sweeps.
+	Bs []int
+	// FixedB is the vector length of the PE-count sweeps (Figure 12 and
+	// 13c use 1 KB = 256 wavelets).
+	FixedB int
+	// Ps are the PE counts of the Figure 12 sweeps.
+	Ps []int
+	// Side2D is the square grid side for the measured Figure 13 a/b runs.
+	// The paper measures 512×512 on hardware; simulating 262k PEs
+	// cycle-by-cycle is infeasible, so measured runs use this side and
+	// the model covers 512 (see EXPERIMENTS.md).
+	Side2D int
+	// Sides2D are the measured grid sides of the Figure 13c sweep.
+	Sides2D []int
+	// StarBCap caps the vector length of measured Star runs: Star's
+	// simulation work is its energy Θ(B·P²), which dominates everything
+	// else in the sweep. Predictions still cover all B.
+	StarBCap int
+}
+
+// Quick returns the configuration used by tests and the default bench
+// harness: full 1D scale with a thinned B grid, 2D at 16×16.
+func Quick() Config {
+	return Config{
+		Opt:       fabric.Options{ClockSkewMax: 1024, Seed: 7},
+		Calibrate: true,
+		P1D:       512,
+		Bs:        []int{1, 4, 16, 64, 256, 1024},
+		FixedB:    256,
+		Ps:        PowersOfTwo(4, 512),
+		Side2D:    16,
+		Sides2D:   []int{4, 8, 16},
+		StarBCap:  256,
+	}
+}
+
+// Full returns the paper-scale configuration (used by cmd/wsefigures
+// -full): the complete B grid 4 B..16 KB and 2D measurements at 64×64.
+func Full() Config {
+	return Config{
+		Opt:       fabric.Options{ClockSkewMax: 1024, Seed: 7},
+		Calibrate: true,
+		P1D:       512,
+		Bs:        PowersOfTwo(1, 4096),
+		FixedB:    256,
+		Ps:        PowersOfTwo(4, 512),
+		Side2D:    64,
+		Sides2D:   []int{4, 8, 16, 32, 64},
+		StarBCap:  4096,
+	}
+}
+
+// onesInit fills every programmed PE with a constant vector so measured
+// runs also validate the reduction result.
+func onesInit(spec *fabric.Spec, b int) {
+	for _, pe := range spec.PEs {
+		if pe.Init == nil {
+			pe.Init = make([]float32, b)
+			for i := range pe.Init {
+				pe.Init[i] = 1
+			}
+		}
+	}
+}
+
+// runMeasured executes one collective and returns its measured cycles.
+func (cfg Config) runMeasured(width, height int, build func(*fabric.Spec) error) (float64, error) {
+	col := measure.Collective{Width: width, Height: height, Build: build}
+	if cfg.Calibrate {
+		res, err := measure.Measure(col, cfg.Opt, measure.Config{})
+		if err != nil {
+			return math.NaN(), err
+		}
+		return float64(res.Cycles), nil
+	}
+	spec := fabric.NewSpec(width, height)
+	if err := build(spec); err != nil {
+		return math.NaN(), err
+	}
+	f, err := fabric.New(spec, cfg.Opt)
+	if err != nil {
+		return math.NaN(), err
+	}
+	res, err := f.Run()
+	if err != nil {
+		return math.NaN(), err
+	}
+	return float64(res.Cycles), nil
+}
+
+func (cfg Config) tr() int { return core.Params(cfg.Opt).TR }
+
+// measureReduce1D runs one measured 1D Reduce point.
+func (cfg Config) measureReduce1D(pattern core.Pattern, p, b int) (float64, error) {
+	return cfg.runMeasured(p, 1, func(spec *fabric.Spec) error {
+		if err := core.BuildReduce1DInto(spec, pattern, p, b, cfg.tr(), fabric.OpSum); err != nil {
+			return err
+		}
+		onesInit(spec, b)
+		return nil
+	})
+}
+
+// measureAllReduce1D runs one measured 1D AllReduce point.
+func (cfg Config) measureAllReduce1D(pattern core.Pattern, p, b int) (float64, error) {
+	return cfg.runMeasured(p, 1, func(spec *fabric.Spec) error {
+		if err := core.BuildAllReduce1DInto(spec, pattern, p, b, cfg.tr(), fabric.OpSum); err != nil {
+			return err
+		}
+		onesInit(spec, b)
+		return nil
+	})
+}
+
+// measureBroadcast1D runs one measured 1D Broadcast point.
+func (cfg Config) measureBroadcast1D(p, b int) (float64, error) {
+	return cfg.runMeasured(p, 1, func(spec *fabric.Spec) error {
+		path := mesh.Row(0, 0, p)
+		if err := buildBroadcastInto(spec, path, b); err != nil {
+			return err
+		}
+		onesInit(spec, b)
+		return nil
+	})
+}
+
+// buildBroadcastInto compiles a flooding broadcast along a path.
+func buildBroadcastInto(spec *fabric.Spec, path mesh.Path, b int) error {
+	for _, c := range path {
+		spec.PE(c)
+	}
+	return comm.BuildBroadcast(spec, path, b, comm.ColorBcast)
+}
+
+// measureReduce2D runs one measured 2D Reduce point on a side×side grid.
+func (cfg Config) measureReduce2D(pattern core.Pattern2D, side, b int) (float64, error) {
+	return cfg.runMeasured(side, side, func(spec *fabric.Spec) error {
+		if err := core.BuildReduce2DInto(spec, pattern, side, side, b, cfg.tr(), fabric.OpSum); err != nil {
+			return err
+		}
+		onesInit(spec, b)
+		return nil
+	})
+}
+
+// measureAllReduce2D runs one measured 2D AllReduce point.
+func (cfg Config) measureAllReduce2D(pattern core.Pattern2D, side, b int) (float64, error) {
+	return cfg.runMeasured(side, side, func(spec *fabric.Spec) error {
+		if err := core.BuildAllReduce2DInto(spec, pattern, side, side, b, cfg.tr(), fabric.OpSum); err != nil {
+			return err
+		}
+		onesInit(spec, b)
+		return nil
+	})
+}

@@ -1,0 +1,785 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// Options configure the physical parameters of the simulated fabric.
+type Options struct {
+	// TR is the ramp latency in cycles between a processor and its router,
+	// in each direction. The paper measures it to be 2 on the WSE-2; zero
+	// selects that default, and a negative value selects a literal
+	// zero-latency ramp (useful for ablations).
+	TR int
+	// QueueCap is the per-color per-direction router input queue depth.
+	// Hardware queues are shallow; the default of 4 reproduces tight
+	// backpressure while letting single-cycle pipelines stream.
+	QueueCap int
+	// MaxCycles aborts runs that exceed this cycle count (0 = generous
+	// default).
+	MaxCycles int64
+	// ClockSkewMax, when positive, gives each PE a deterministic
+	// pseudo-random local clock offset in [0, ClockSkewMax). The paper's
+	// PEs have independent clocks (§8.1); the measurement methodology of
+	// §8.3 exists to calibrate this away.
+	ClockSkewMax int64
+	// ThermalNoopRate, when positive, is the per-cycle probability that a
+	// processor inserts a no-op, modelling the wafer's thermal throttling
+	// (§8.1: "PEs may insert no-ops to regulate thermal stress").
+	ThermalNoopRate float64
+	// TaskActivation charges the given number of cycles when a receive
+	// op consumes its first wavelet, modelling the dataflow task wake-up
+	// ("tasks can be activated by wavelets", §2.2). The paper observed
+	// this overhead makes the measured Star slower than predicted
+	// because it pays per incoming transfer (§8.5). Default 0 (the
+	// idealised fabric the paper's model describes).
+	TaskActivation int
+	// Seed drives the deterministic RNG used for clock skew and thermal
+	// no-ops.
+	Seed uint64
+	// Tracer, when non-nil, records fabric events (wavelet movement,
+	// config advancement, op completion) for debugging.
+	Tracer *Tracer
+}
+
+// DefaultTR is the ramp latency the paper determined for the WSE-2.
+const DefaultTR = 2
+
+func (o Options) withDefaults() Options {
+	if o.TR == 0 {
+		o.TR = DefaultTR
+	}
+	if o.TR < 0 {
+		o.TR = 0
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 1 << 34
+	}
+	return o
+}
+
+// colorState is a router's runtime state for one color: the configuration
+// list with the active index and remaining absorb count, and the input
+// queue per arrival direction.
+type colorState struct {
+	configs []RouterConfig
+	idx     int
+	times   int
+	queues  [mesh.NumDirections]waveQueue
+	queued  int
+	color   mesh.Color
+	router  int32
+	inList  bool
+}
+
+func (cs *colorState) advance() {
+	if cs.times == 0 { // final configuration: absorbs controls forever
+		return
+	}
+	cs.times--
+	if cs.times == 0 && cs.idx < len(cs.configs)-1 {
+		cs.idx++
+		cs.times = cs.configs[cs.idx].Times
+	}
+}
+
+type router struct {
+	colors  [mesh.NumColors]*colorState
+	outUsed [mesh.NumDirections]int64 // cycle+1 stamp of the last wire use
+}
+
+// proc is a processor's runtime state.
+type proc struct {
+	ops        []Op
+	opIdx      int
+	elem       int
+	ctlPhase   bool // data elements sent/consumed; control phase pending
+	rElem      int  // inbound progress of full-duplex ops
+	rDone      bool
+	sDone      bool
+	actLeft    int  // remaining task-activation stall cycles
+	actDone    bool // activation already paid for the current op
+	acc        []float32
+	inbox      [mesh.NumColors]*waveQueue
+	inboxTotal int
+	latchVal   float32
+	latchCtl   bool
+	latchFull  bool
+	clock      []int64
+	skew       int64
+	rng        uint64
+	received   int64
+	done       bool
+	inList     bool
+}
+
+func (p *proc) inboxFor(c mesh.Color) *waveQueue {
+	q := p.inbox[c]
+	if q == nil {
+		q = &waveQueue{}
+		p.inbox[c] = q
+	}
+	return q
+}
+
+// Stats aggregates fabric-level counters that correspond directly to the
+// paper's cost metrics: Hops is the measured energy E (router-to-router
+// wavelet moves), MaxReceived the measured contention C (data wavelets
+// consumed by the busiest processor), RampMoves the traffic over processor
+// ramps, Noops the thermal no-ops inserted.
+type Stats struct {
+	Hops        int64
+	RampMoves   int64
+	MaxReceived int64
+	MaxQueueLen int
+	Noops       int64
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Cycles is the total cycle count until every processor finished and
+	// the network drained.
+	Cycles int64
+	// Acc maps each programmed PE to its final accumulator contents.
+	Acc map[mesh.Coord][]float32
+	// Clocks maps each PE to its sampled local-clock slots.
+	Clocks map[mesh.Coord][]int64
+	// Stats holds the measured cost metrics.
+	Stats Stats
+}
+
+// Fabric is an instantiated simulation of a Spec. The engine is
+// cycle-stepped but event-scheduled: routers and processors sleep while
+// blocked and are woken by exactly the fabric events (queue pushes and
+// pops) that can unblock them, so simulation work is proportional to
+// wavelet movement (the paper's energy metric) rather than PEs×cycles.
+type Fabric struct {
+	opt     Options
+	width   int
+	height  int
+	coords  []mesh.Coord
+	index   map[mesh.Coord]int
+	routers []router
+	procs   []proc
+	cycle   int64
+	stats   Stats
+
+	curCS  []*colorState
+	nextCS []*colorState
+	curP   []int32
+	nextP  []int32
+
+	pendingProcs int
+	queuedTotal  int
+}
+
+// New instantiates a fabric for the given program. The spec is validated
+// first; routing tables and processor state are laid out densely over the
+// programmed PEs.
+func New(s *Spec, opt Options) (*Fabric, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	coords := make([]mesh.Coord, 0, len(s.PEs))
+	for c := range s.PEs {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Y != coords[j].Y {
+			return coords[i].Y < coords[j].Y
+		}
+		return coords[i].X < coords[j].X
+	})
+	f := &Fabric{
+		opt:     opt,
+		width:   s.Width,
+		height:  s.Height,
+		coords:  coords,
+		index:   make(map[mesh.Coord]int, len(coords)),
+		routers: make([]router, len(coords)),
+		procs:   make([]proc, len(coords)),
+	}
+	for i, c := range coords {
+		f.index[c] = i
+	}
+	rng := opt.Seed | 1
+	for i, c := range coords {
+		pe := s.PEs[c]
+		r := &f.routers[i]
+		for color, cfgs := range pe.Configs {
+			r.colors[color] = &colorState{
+				configs: cfgs,
+				times:   cfgs[0].Times,
+				color:   color,
+				router:  int32(i),
+			}
+		}
+		p := &f.procs[i]
+		p.ops = pe.Ops
+		p.acc = append([]float32(nil), pe.Init...)
+		// Ops address acc[Off..Off+N); make sure the buffer exists even
+		// when the PE contributed no input of its own.
+		for _, op := range pe.Ops {
+			need := 0
+			switch op.Kind {
+			case OpSend, OpRecvReduce, OpRecvReduceSend, OpRecvStore:
+				need = op.Off + op.N
+			case OpSendRecvReduce, OpSendRecvStore:
+				need = op.Off + op.N
+				if n2 := op.Off2 + op.N2; n2 > need {
+					need = n2
+				}
+			}
+			if need > len(p.acc) {
+				p.acc = append(p.acc, make([]float32, need-len(p.acc))...)
+			}
+		}
+		p.clock = make([]int64, pe.ClockSlots)
+		rng = splitmix(rng)
+		p.rng = rng
+		if opt.ClockSkewMax > 0 {
+			rng = splitmix(rng)
+			p.skew = int64(rng % uint64(opt.ClockSkewMax))
+		}
+		if len(p.ops) == 0 {
+			p.done = true
+		} else {
+			f.pendingProcs++
+			f.wakeProc(int32(i))
+		}
+	}
+	f.curP, f.nextP = f.nextP, f.curP
+	f.curCS, f.nextCS = f.nextCS, f.curCS
+	return f, nil
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (f *Fabric) neighbor(i int, d mesh.Direction) int {
+	n, ok := f.index[f.coords[i].Add(d)]
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// wakeCS schedules a router color state for the next cycle.
+func (f *Fabric) wakeCS(cs *colorState) {
+	if cs == nil || cs.inList {
+		return
+	}
+	cs.inList = true
+	f.nextCS = append(f.nextCS, cs)
+}
+
+// wakeProc schedules a processor for the next cycle.
+func (f *Fabric) wakeProc(i int32) {
+	p := &f.procs[i]
+	if p.inList || p.done {
+		return
+	}
+	p.inList = true
+	f.nextP = append(f.nextP, i)
+}
+
+// Run executes the program to completion and returns the result. It fails
+// with a diagnostic error on deadlock (all units blocked while work
+// remains), protocol violations (control wavelets out of place), or cycle
+// overrun.
+func (f *Fabric) Run() (*Result, error) {
+	for {
+		if f.pendingProcs == 0 && f.queuedTotal == 0 {
+			break
+		}
+		if len(f.curCS) == 0 && len(f.curP) == 0 {
+			return nil, fmt.Errorf("fabric: deadlock at cycle %d; %s", f.cycle, f.describeStall())
+		}
+		if f.cycle >= f.opt.MaxCycles {
+			return nil, fmt.Errorf("fabric: exceeded %d cycles; %s", f.opt.MaxCycles, f.describeStall())
+		}
+		for _, cs := range f.curCS {
+			cs.inList = false
+			if f.stepColor(cs) {
+				f.wakeCS(cs)
+			}
+		}
+		for _, pi := range f.curP {
+			p := &f.procs[pi]
+			p.inList = false
+			stay, err := f.stepProc(pi)
+			if err != nil {
+				return nil, err
+			}
+			if stay {
+				f.wakeProc(pi)
+			}
+		}
+		f.curCS = f.curCS[:0]
+		f.curP = f.curP[:0]
+		f.curCS, f.nextCS = f.nextCS, f.curCS
+		f.curP, f.nextP = f.nextP, f.curP
+		f.cycle++
+	}
+	res := &Result{
+		Cycles: f.cycle,
+		Acc:    make(map[mesh.Coord][]float32, len(f.coords)),
+		Clocks: make(map[mesh.Coord][]int64, len(f.coords)),
+		Stats:  f.stats,
+	}
+	for i, c := range f.coords {
+		if n := f.procs[i].inboxTotal; n > 0 {
+			return nil, fmt.Errorf("fabric: PE %v finished with %d unconsumed inbox wavelets", c, n)
+		}
+		res.Acc[c] = f.procs[i].acc
+		if len(f.procs[i].clock) > 0 {
+			res.Clocks[c] = f.procs[i].clock
+		}
+		if f.procs[i].received > res.Stats.MaxReceived {
+			res.Stats.MaxReceived = f.procs[i].received
+		}
+	}
+	return res, nil
+}
+
+// stepColor attempts to route the head wavelet of one color at one router.
+// It returns true when the color state should stay scheduled (it moved a
+// wavelet and has more, or it is waiting on a wire or on a ramp-transit
+// delay); it returns false when the state goes to sleep, to be woken by a
+// push or a downstream pop.
+func (f *Fabric) stepColor(cs *colorState) bool {
+	if cs.queued == 0 {
+		return false
+	}
+	cfg := cs.configs[cs.idx]
+	q := &cs.queues[cfg.Accept]
+	e, ok := q.peek()
+	if !ok {
+		return false // wavelets queued on non-accepted sides; a config advance will wake us
+	}
+	if e.readyAt > f.cycle {
+		return true // in ramp/link transit: retry next cycle
+	}
+	i := int(cs.router)
+	r := &f.routers[i]
+	// Check every forward target; multicast moves atomically or not at all.
+	for d := mesh.Direction(0); d < mesh.NumDirections; d++ {
+		if !cfg.Forward.Has(d) {
+			continue
+		}
+		if r.outUsed[d] == f.cycle+1 {
+			return true // wire contention: retry next cycle
+		}
+		if d == mesh.Ramp {
+			if f.procs[i].inboxFor(cs.color).len() >= f.opt.QueueCap {
+				return false // sleep until the processor drains its inbox
+			}
+			continue
+		}
+		nb := f.neighbor(i, d)
+		if nb < 0 {
+			return false // off-grid (caught by Validate; defensive)
+		}
+		ncs := f.routers[nb].colors[cs.color]
+		if ncs == nil {
+			return false // unroutable color downstream: surfaces as deadlock
+		}
+		if !ncs.queues[d.Opposite()].hasSpace(f.opt.QueueCap) {
+			return false // sleep until downstream pops
+		}
+	}
+	q.pop()
+	cs.queued--
+	f.queuedTotal--
+	if f.opt.Tracer != nil {
+		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvRoute, Color: cs.color, Forward: cfg.Forward, Ctl: e.w.Ctl})
+	}
+	// Popping frees space: wake whoever fills this queue.
+	if cfg.Accept == mesh.Ramp {
+		f.wakeProc(cs.router)
+	} else if up := f.neighbor(i, cfg.Accept); up >= 0 {
+		f.wakeCS(f.routers[up].colors[cs.color])
+	}
+	for d := mesh.Direction(0); d < mesh.NumDirections; d++ {
+		if !cfg.Forward.Has(d) {
+			continue
+		}
+		r.outUsed[d] = f.cycle + 1
+		if d == mesh.Ramp {
+			p := &f.procs[i]
+			p.inboxFor(cs.color).push(waveEntry{w: e.w, readyAt: f.cycle + int64(f.opt.TR)}, f.opt.QueueCap)
+			p.inboxTotal++
+			f.stats.RampMoves++
+			f.wakeProc(cs.router)
+			if f.opt.Tracer != nil {
+				f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvDeliver, Color: cs.color, Ctl: e.w.Ctl})
+			}
+			continue
+		}
+		nb := f.neighbor(i, d)
+		ncs := f.routers[nb].colors[cs.color]
+		ncs.queues[d.Opposite()].push(waveEntry{w: e.w, readyAt: f.cycle + 1}, f.opt.QueueCap)
+		ncs.queued++
+		f.queuedTotal++
+		f.stats.Hops++
+		if l := ncs.queues[d.Opposite()].len(); l > f.stats.MaxQueueLen {
+			f.stats.MaxQueueLen = l
+		}
+		f.wakeCS(ncs)
+	}
+	if e.w.Ctl {
+		cs.advance()
+		if f.opt.Tracer != nil {
+			f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvAdvance, Color: cs.color, Ctl: true})
+		}
+	}
+	return cs.queued > 0
+}
+
+// pushRamp injects a wavelet from processor i into its router; the wavelet
+// becomes routable T_R cycles after the send instruction issues.
+func (f *Fabric) pushRamp(i int32, w Wavelet) bool {
+	cs := f.routers[i].colors[w.Color]
+	if cs == nil {
+		return false
+	}
+	if !cs.queues[mesh.Ramp].push(waveEntry{w: w, readyAt: f.cycle + int64(f.opt.TR)}, f.opt.QueueCap) {
+		return false
+	}
+	cs.queued++
+	f.queuedTotal++
+	f.stats.RampMoves++
+	f.wakeCS(cs)
+	if f.opt.Tracer != nil {
+		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvInject, Color: w.Color, Ctl: w.Ctl})
+	}
+	return true
+}
+
+type popState uint8
+
+const (
+	popEmpty popState = iota
+	popNotReady
+	popOK
+)
+
+func (f *Fabric) popInbox(i int32, c mesh.Color) (Wavelet, popState) {
+	p := &f.procs[i]
+	q := p.inbox[c]
+	if q == nil || q.len() == 0 {
+		return Wavelet{}, popEmpty
+	}
+	e, _ := q.peek()
+	if e.readyAt > f.cycle {
+		return Wavelet{}, popNotReady
+	}
+	q.pop()
+	p.inboxTotal--
+	// Draining the inbox may unblock the router's ramp delivery.
+	f.wakeCS(f.routers[i].colors[c])
+	if f.opt.Tracer != nil {
+		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvConsume, Color: c, Ctl: e.w.Ctl})
+	}
+	return e.w, popOK
+}
+
+// stepProc advances one processor by one cycle. It returns whether the
+// processor should stay scheduled next cycle.
+func (f *Fabric) stepProc(i int32) (bool, error) {
+	p := &f.procs[i]
+	if p.done {
+		return false, nil
+	}
+	// Zero-cost ops (clock samples) execute immediately in program order.
+	for p.opIdx < len(p.ops) && p.ops[p.opIdx].Kind == OpSampleClock {
+		op := p.ops[p.opIdx]
+		p.clock[op.Slot] = f.cycle + p.skew
+		p.opIdx++
+	}
+	if p.opIdx >= len(p.ops) {
+		if p.inboxTotal > 0 {
+			return false, f.failf(i, "program finished with %d undelivered inbox wavelets", p.inboxTotal)
+		}
+		p.done = true
+		f.pendingProcs--
+		return false, nil
+	}
+	if f.opt.ThermalNoopRate > 0 {
+		p.rng = splitmix(p.rng)
+		if float64(p.rng%(1<<20))/float64(1<<20) < f.opt.ThermalNoopRate {
+			f.stats.Noops++
+			return true, nil
+		}
+	}
+	op := &p.ops[p.opIdx]
+	switch op.Kind {
+	case OpSend:
+		if !p.ctlPhase {
+			if f.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.Color}) {
+				p.elem++
+				if p.elem == op.N {
+					p.ctlPhase = true
+				}
+				return true, nil
+			}
+			return false, nil // ramp full: woken by ramp-queue pop
+		}
+		if f.pushRamp(i, Wavelet{Color: op.Color, Ctl: true}) {
+			p.finishOp()
+			return true, nil
+		}
+		return false, nil
+
+	case OpSendTrigger:
+		if f.pushRamp(i, Wavelet{Color: op.Color}) {
+			p.finishOp()
+			return true, nil
+		}
+		return false, nil
+
+	case OpRecvReduce, OpRecvStore:
+		if stay, gated := f.activationStall(i, op.Color); gated {
+			return stay, nil
+		}
+		w, st := f.popInbox(i, op.Color)
+		if st == popEmpty {
+			return false, nil
+		}
+		if st == popNotReady {
+			return true, nil
+		}
+		if w.Ctl {
+			if p.elem != op.N {
+				return false, f.failf(i, "%v: control after %d/%d elements", op.Kind, p.elem, op.N)
+			}
+			p.finishOp()
+			return true, nil
+		}
+		if p.elem >= op.N {
+			return false, f.failf(i, "%v: data wavelet beyond %d elements", op.Kind, op.N)
+		}
+		if op.Kind == OpRecvReduce {
+			p.acc[op.Off+p.elem] = op.Reduce.Apply(p.acc[op.Off+p.elem], w.Val)
+		} else {
+			p.acc[op.Off+p.elem] = w.Val
+		}
+		p.elem++
+		p.received++
+		return true, nil
+
+	case OpSendRecvReduce, OpSendRecvStore:
+		return f.stepSendRecv(i, op)
+
+	case OpRecvReduceSend:
+		progress := false
+		if p.latchFull {
+			if f.pushRamp(i, Wavelet{Val: p.latchVal, Color: op.OutColor, Ctl: p.latchCtl}) {
+				wasCtl := p.latchCtl
+				p.latchFull = false
+				p.latchCtl = false
+				progress = true
+				if wasCtl {
+					p.finishOp()
+					return true, nil
+				}
+			} else if p.latchCtl || p.elem == op.N {
+				// Nothing left to receive; blocked purely on the ramp.
+				return false, nil
+			}
+		}
+		if !p.latchFull {
+			if stay, gated := f.activationStall(i, op.Color); gated {
+				return stay || progress, nil
+			}
+			w, st := f.popInbox(i, op.Color)
+			switch st {
+			case popOK:
+				if w.Ctl {
+					if p.elem != op.N {
+						return false, f.failf(i, "recv-reduce-send: control after %d/%d elements", p.elem, op.N)
+					}
+					p.latchFull = true
+					p.latchCtl = true
+				} else {
+					if p.elem >= op.N {
+						return false, f.failf(i, "recv-reduce-send: data wavelet beyond %d elements", op.N)
+					}
+					v := op.Reduce.Apply(p.acc[op.Off+p.elem], w.Val)
+					p.acc[op.Off+p.elem] = v
+					p.latchVal = v
+					p.latchFull = true
+					p.elem++
+					p.received++
+				}
+				return true, nil
+			case popNotReady:
+				return true, nil
+			case popEmpty:
+				// Stay scheduled if the latch made progress or still holds
+				// data (it will need the ramp next cycle); otherwise sleep
+				// until the inbox fills.
+				return progress || p.latchFull, nil
+			}
+		}
+		return progress, nil
+
+	case OpRecvTrigger:
+		w, st := f.popInbox(i, op.Color)
+		if st == popEmpty {
+			return false, nil
+		}
+		if st == popNotReady {
+			return true, nil
+		}
+		if w.Ctl {
+			return false, f.failf(i, "recv-trigger: unexpected control wavelet")
+		}
+		p.finishOp()
+		return true, nil
+
+	case OpBusyWrite:
+		p.elem++
+		if p.elem >= op.N {
+			p.finishOp()
+		}
+		return true, nil
+	}
+	return false, f.failf(i, "unknown op kind %d", op.Kind)
+}
+
+// stepSendRecv advances the full-duplex op: one outgoing and one incoming
+// wavelet per cycle, using both directions of the bidirectional ramp.
+func (f *Fabric) stepSendRecv(i int32, op *Op) (bool, error) {
+	p := &f.procs[i]
+	progress := false
+	// Outbound side: stream data then the trailing control.
+	if !p.sDone {
+		switch {
+		case p.elem < op.N:
+			if f.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.OutColor}) {
+				p.elem++
+				progress = true
+			}
+		default:
+			if f.pushRamp(i, Wavelet{Color: op.OutColor, Ctl: true}) {
+				p.sDone = true
+				progress = true
+			}
+		}
+	}
+	// Inbound side.
+	notReady := false
+	if !p.rDone {
+		w, st := f.popInbox(i, op.Color)
+		switch st {
+		case popOK:
+			if w.Ctl {
+				if p.rElem != op.N2 {
+					return false, f.failf(i, "%v: control after %d/%d elements", op.Kind, p.rElem, op.N2)
+				}
+				p.rDone = true
+			} else {
+				if p.rElem >= op.N2 {
+					return false, f.failf(i, "%v: data wavelet beyond %d elements", op.Kind, op.N2)
+				}
+				if op.Kind == OpSendRecvReduce {
+					p.acc[op.Off2+p.rElem] = op.Reduce.Apply(p.acc[op.Off2+p.rElem], w.Val)
+				} else {
+					p.acc[op.Off2+p.rElem] = w.Val
+				}
+				p.rElem++
+				p.received++
+			}
+			progress = true
+		case popNotReady:
+			notReady = true
+		}
+	}
+	if p.sDone && p.rDone {
+		p.finishOp()
+		return true, nil
+	}
+	// Stay scheduled while anything moved or is in ramp transit; sleep
+	// otherwise (woken by a ramp-queue pop or an inbox push).
+	return progress || notReady, nil
+}
+
+func (p *proc) finishOp() {
+	p.opIdx++
+	p.elem = 0
+	p.ctlPhase = false
+	p.rElem = 0
+	p.rDone = false
+	p.sDone = false
+	p.actLeft = 0
+	p.actDone = false
+}
+
+// activationStall implements the per-transfer task wake-up charge: once
+// the op's first wavelet is available, TaskActivation cycles elapse
+// before the processor consumes anything. Returns (stay, gated): gated
+// means the caller must not consume this cycle.
+func (f *Fabric) activationStall(i int32, color mesh.Color) (bool, bool) {
+	p := &f.procs[i]
+	if f.opt.TaskActivation <= 0 || p.actDone {
+		return false, false
+	}
+	q := p.inbox[color]
+	if q == nil || q.len() == 0 {
+		return false, true // nothing arrived yet: sleep until a push
+	}
+	if e, _ := q.peek(); e.readyAt > f.cycle {
+		return true, true // in ramp transit: retry next cycle
+	}
+	if p.actLeft == 0 {
+		p.actLeft = f.opt.TaskActivation
+	}
+	p.actLeft--
+	if p.actLeft == 0 {
+		p.actDone = true
+	}
+	return true, true
+}
+
+func (f *Fabric) failf(i int32, format string, args ...any) error {
+	return fmt.Errorf("fabric: PE %v at cycle %d: %s", f.coords[i], f.cycle, fmt.Sprintf(format, args...))
+}
+
+// describeStall summarises blocked processors and queued wavelets for
+// deadlock diagnostics.
+func (f *Fabric) describeStall() string {
+	var b strings.Builder
+	blocked := 0
+	for i := range f.procs {
+		p := &f.procs[i]
+		if p.done {
+			continue
+		}
+		if blocked < 8 {
+			if p.opIdx < len(p.ops) {
+				op := p.ops[p.opIdx]
+				fmt.Fprintf(&b, "PE %v blocked on op %d %v color=%d elem=%d/%d inbox=%d; ",
+					f.coords[i], p.opIdx, op.Kind, op.Color, p.elem, op.N, p.inboxTotal)
+			} else {
+				fmt.Fprintf(&b, "PE %v drained ops, inbox=%d; ", f.coords[i], p.inboxTotal)
+			}
+		}
+		blocked++
+	}
+	fmt.Fprintf(&b, "%d blocked PEs, %d queued wavelets", blocked, f.queuedTotal)
+	return b.String()
+}

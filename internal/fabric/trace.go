@@ -1,0 +1,121 @@
+package fabric
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mesh"
+)
+
+// TraceKind classifies a traced fabric event.
+type TraceKind uint8
+
+const (
+	// EvInject: a processor pushed a wavelet down its ramp.
+	EvInject TraceKind = iota
+	// EvRoute: a router moved a wavelet towards its forward set.
+	EvRoute
+	// EvDeliver: a router forwarded a wavelet up the ramp to its
+	// processor's inbox.
+	EvDeliver
+	// EvConsume: a processor consumed a wavelet from its inbox.
+	EvConsume
+	// EvAdvance: a control wavelet advanced a router configuration.
+	EvAdvance
+	// EvOpDone: a processor finished a program op.
+	EvOpDone
+)
+
+// String names the event kind.
+func (k TraceKind) String() string {
+	switch k {
+	case EvInject:
+		return "inject"
+	case EvRoute:
+		return "route"
+	case EvDeliver:
+		return "deliver"
+	case EvConsume:
+		return "consume"
+	case EvAdvance:
+		return "advance"
+	case EvOpDone:
+		return "op-done"
+	}
+	return fmt.Sprintf("ev(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded fabric event.
+type TraceEvent struct {
+	Cycle   int64
+	PE      mesh.Coord
+	Kind    TraceKind
+	Color   mesh.Color
+	Forward mesh.DirSet
+	Ctl     bool
+	Op      OpKind
+}
+
+// Tracer records fabric events up to a capacity; attach one via
+// Options.Tracer to debug routing configurations and stalls. Recording is
+// bounded: once Cap events are stored, later ones are counted but
+// dropped.
+type Tracer struct {
+	// Cap bounds the stored events (default 1 << 16).
+	Cap     int
+	Events  []TraceEvent
+	Dropped int64
+}
+
+func (t *Tracer) record(e TraceEvent) {
+	cap := t.Cap
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	if len(t.Events) >= cap {
+		t.Dropped++
+		return
+	}
+	t.Events = append(t.Events, e)
+}
+
+// Render formats the trace as a cycle-ordered listing; filter may be nil
+// to include everything.
+func (t *Tracer) Render(filter func(TraceEvent) bool) string {
+	var b strings.Builder
+	for _, e := range t.Events {
+		if filter != nil && !filter(e) {
+			continue
+		}
+		fmt.Fprintf(&b, "%8d  %-8v %-8s color=%d", e.Cycle, e.PE, e.Kind, e.Color)
+		if e.Kind == EvRoute {
+			fmt.Fprintf(&b, " -> %v", e.Forward)
+		}
+		if e.Kind == EvOpDone {
+			fmt.Fprintf(&b, " %v", e.Op)
+		}
+		if e.Ctl {
+			b.WriteString(" ctl")
+		}
+		b.WriteString("\n")
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(&b, "(… %d events dropped beyond capacity)\n", t.Dropped)
+	}
+	return b.String()
+}
+
+// Summary aggregates the trace into per-PE counters, a quick view of
+// where traffic concentrated (the contention picture).
+func (t *Tracer) Summary() map[mesh.Coord]map[TraceKind]int {
+	out := make(map[mesh.Coord]map[TraceKind]int)
+	for _, e := range t.Events {
+		m := out[e.PE]
+		if m == nil {
+			m = make(map[TraceKind]int)
+			out[e.PE] = m
+		}
+		m[e.Kind]++
+	}
+	return out
+}

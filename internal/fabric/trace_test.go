@@ -1,0 +1,90 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	tr := &Tracer{}
+	f, err := New(twoPE(4), Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[TraceKind]int{}
+	lastCycle := int64(-1)
+	for _, e := range tr.Events {
+		counts[e.Kind]++
+		if e.Cycle < lastCycle {
+			t.Fatalf("events out of order: %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+	}
+	// 4 data + 1 control: injected, routed at the sender, routed+delivered
+	// at the receiver, consumed.
+	if counts[EvInject] != 5 {
+		t.Errorf("injects %d, want 5", counts[EvInject])
+	}
+	if counts[EvDeliver] != 5 {
+		t.Errorf("delivers %d, want 5", counts[EvDeliver])
+	}
+	if counts[EvConsume] != 5 {
+		t.Errorf("consumes %d, want 5", counts[EvConsume])
+	}
+	if counts[EvRoute] < 10 {
+		t.Errorf("routes %d, want >= 10", counts[EvRoute])
+	}
+	out := tr.Render(nil)
+	for _, want := range []string{"inject", "route", "deliver", "consume"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	sum := tr.Summary()
+	if sum[mesh.Coord{}][EvConsume] != 5 {
+		t.Errorf("summary consume at root: %d", sum[mesh.Coord{}][EvConsume])
+	}
+}
+
+func TestTracerCapDropsExcess(t *testing.T) {
+	tr := &Tracer{Cap: 3}
+	f, err := New(twoPE(16), Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 {
+		t.Errorf("stored %d events, cap 3", len(tr.Events))
+	}
+	if tr.Dropped == 0 {
+		t.Error("no drops recorded")
+	}
+	if !strings.Contains(tr.Render(nil), "dropped") {
+		t.Error("render does not mention drops")
+	}
+}
+
+func TestTracerFilter(t *testing.T) {
+	tr := &Tracer{}
+	f, err := New(twoPE(2), Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	only := tr.Render(func(e TraceEvent) bool { return e.Kind == EvConsume })
+	if strings.Contains(only, "inject") {
+		t.Error("filter leaked inject events")
+	}
+	if !strings.Contains(only, "consume") {
+		t.Error("filter dropped consume events")
+	}
+}

@@ -1,0 +1,74 @@
+// Package fabric implements a cycle-level simulator of the Cerebras
+// wafer-scale engine's communication fabric: a 2D mesh of routers with
+// per-color routing configurations, hardware multicast, bounded link
+// bandwidth (one 32-bit wavelet per link direction per cycle), small input
+// queues with backpressure, and a ramp latency T_R between each processor
+// and its router.
+//
+// The simulator substitutes for the CS-2 hardware used in the paper's
+// evaluation. The paper itself notes (§1.4) that PE programs "exhibit
+// deterministic, state-machine like behavior which can be modeled with a
+// cycle-accurate fabric simulator"; this package is that simulator, built
+// from the architectural description in §2.2 of the paper.
+package fabric
+
+import "repro/internal/mesh"
+
+// Wavelet is a single 32-bit fabric packet. Reduction payloads are float32
+// values (the paper's experiments use 32-bit floats). A control wavelet
+// (Ctl) carries no payload; every router that routes it advances its active
+// configuration for the wavelet's color, mirroring the paper's control
+// wavelets and the "last element triggers a change in routing
+// configuration" mechanism of Figure 3.
+type Wavelet struct {
+	Val   float32
+	Color mesh.Color
+	Ctl   bool
+}
+
+// waveEntry is a wavelet in flight together with the first cycle at which
+// it may be acted upon (used to model the one-cycle link traversal and the
+// T_R ramp latency).
+type waveEntry struct {
+	w       Wavelet
+	readyAt int64
+}
+
+// waveQueue is a small ring buffer of in-flight wavelets. Queues are
+// bounded; a full queue exerts backpressure on the upstream router, which
+// is how stalling propagates through the fabric.
+type waveQueue struct {
+	buf  []waveEntry
+	head int
+	n    int
+}
+
+func (q *waveQueue) len() int { return q.n }
+
+func (q *waveQueue) hasSpace(capacity int) bool { return q.n < capacity }
+
+func (q *waveQueue) push(e waveEntry, capacity int) bool {
+	if q.n >= capacity {
+		return false
+	}
+	if q.buf == nil {
+		q.buf = make([]waveEntry, capacity)
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = e
+	q.n++
+	return true
+}
+
+func (q *waveQueue) peek() (waveEntry, bool) {
+	if q.n == 0 {
+		return waveEntry{}, false
+	}
+	return q.buf[q.head], true
+}
+
+func (q *waveQueue) pop() waveEntry {
+	e := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return e
+}

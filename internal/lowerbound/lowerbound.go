@@ -1,0 +1,132 @@
+// Package lowerbound implements the paper's Reduce runtime lower bound
+// (§5.6): a dynamic program over Lemma 5.5's energy recursion
+//
+//	E*(P,1,D) ≥ min_{0<i<P} E*(i,1,D) + E*(P−i,1,D−1) + min(i, P−i+1)
+//
+// combined into
+//
+//	T*(P,B) ≥ min_D  B·E*(P,1,D)/(P−1) + P−1 + D·(2·T_R+1).
+//
+// Contention is deliberately omitted (it only strengthens algorithms'
+// costs, not the bound), and vector energy is at least B times scalar
+// energy. The optimality-ratio heatmaps of Figure 1 divide each
+// algorithm's predicted runtime by this bound.
+package lowerbound
+
+import (
+	"math"
+	"sync"
+)
+
+const inf = int64(1) << 60
+
+// Table memoises the scalar energy DP E*(P,1,D) for all P up to a maximum
+// and all depths up to P−1. Solving the DP takes O(P³) as stated in §5.6;
+// the table is built once and shared.
+type Table struct {
+	maxP int
+	// e[d][p] = E*(p, 1, min(d, p-1)); d ranges 0..maxP-1, p ranges 0..maxP.
+	e [][]int64
+}
+
+var (
+	tableMu sync.Mutex
+	cached  *Table
+)
+
+// For returns a table covering at least maxP PEs, reusing a previously
+// built one when possible.
+func For(maxP int) *Table {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	if cached != nil && cached.maxP >= maxP {
+		return cached
+	}
+	cached = build(maxP)
+	return cached
+}
+
+func build(maxP int) *Table {
+	if maxP < 1 {
+		maxP = 1
+	}
+	maxD := maxP - 1
+	if maxD < 1 {
+		maxD = 1
+	}
+	e := make([][]int64, maxD+1)
+	for d := range e {
+		e[d] = make([]int64, maxP+1)
+	}
+	// Depth 0: only a single PE can "reduce" without any message.
+	for p := 2; p <= maxP; p++ {
+		e[0][p] = inf
+	}
+	for d := 1; d <= maxD; d++ {
+		row := e[d]
+		prev := e[d-1]
+		row[1] = 0
+		for p := 2; p <= maxP; p++ {
+			best := inf
+			for i := 1; i < p; i++ {
+				left := row[i] // E*(i,1,D): the root's earlier sub-reduce keeps depth D
+				if left >= inf {
+					continue
+				}
+				right := prev[p-i] // E*(P−i,1,D−1): the final sender's subtree
+				if right >= inf {
+					continue
+				}
+				extra := int64(i)
+				if r := int64(p - i + 1); r < extra {
+					extra = r
+				}
+				if v := left + right + extra; v < best {
+					best = v
+				}
+			}
+			row[p] = best
+		}
+	}
+	return &Table{maxP: maxP, e: e}
+}
+
+// Energy returns E*(p,1,d), the minimum energy to reduce a scalar over p
+// consecutive PEs with depth at most d. Depths beyond p−1 cannot help and
+// are clamped.
+func (t *Table) Energy(p, d int) int64 {
+	if p <= 1 {
+		return 0
+	}
+	if d < 0 {
+		return inf
+	}
+	if d > p-1 {
+		d = p - 1
+	}
+	if d >= len(t.e) {
+		d = len(t.e) - 1
+	}
+	return t.e[d][p]
+}
+
+// Time returns the lower bound T*(p,b) in cycles for ramp latency tr,
+// minimising over all depths.
+func (t *Table) Time(p, b, tr int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	ramp := float64(2*tr + 1)
+	best := math.Inf(1)
+	for d := 1; d <= p-1; d++ {
+		en := t.Energy(p, d)
+		if en >= inf {
+			continue
+		}
+		v := float64(b)*float64(en)/float64(p-1) + float64(p-1) + float64(d)*ramp
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+)
+
+// Ping-pong broadcast measurement (§8.3): "we execute a broadcast from
+// the leftmost PE, then from the rightmost PE. We repeat this procedure k
+// times and report the end clock time - start clock time at the leftmost
+// PE divided by 2k." Broadcast needs no start calibration because the
+// single root serialises everything; the ping-pong cancels the drain
+// asymmetry and amortises the clock-sample cost.
+
+// Colors of the two flood directions; chosen away from the collective
+// colors so the harness composes with instrumented programs.
+const (
+	pingColor mesh.Color = 21
+	pongColor mesh.Color = 22
+)
+
+// PingPongResult reports one ping-pong measurement.
+type PingPongResult struct {
+	// CyclesPerBroadcast is (end-start)/(2k) at the leftmost PE.
+	CyclesPerBroadcast float64
+	// Iterations is k.
+	Iterations int
+	// Raw is the underlying fabric run.
+	Raw *fabric.Result
+}
+
+// PingPongBroadcast measures a 1D broadcast of b wavelets across p PEs by
+// bouncing it k times between the row ends.
+func PingPongBroadcast(p, b, k int, opt fabric.Options) (*PingPongResult, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("measure: ping-pong needs at least 2 PEs")
+	}
+	if b < 1 || k < 1 {
+		return nil, fmt.Errorf("measure: b=%d k=%d", b, k)
+	}
+	spec := fabric.NewSpec(p, 1)
+	path := mesh.Row(0, 0, p)
+
+	for v, c := range path {
+		pe := spec.PE(c)
+		pe.Init = make([]float32, b)
+		// Eastward flood on pingColor.
+		switch {
+		case v == 0:
+			pe.AddConfig(pingColor, fabric.RouterConfig{Accept: mesh.Ramp, Forward: mesh.Dirs(mesh.East)})
+		case v == p-1:
+			pe.AddConfig(pingColor, fabric.RouterConfig{Accept: mesh.West, Forward: mesh.Dirs(mesh.Ramp)})
+		default:
+			pe.AddConfig(pingColor, fabric.RouterConfig{Accept: mesh.West, Forward: mesh.Dirs(mesh.East, mesh.Ramp)})
+		}
+		// Westward flood on pongColor.
+		switch {
+		case v == p-1:
+			pe.AddConfig(pongColor, fabric.RouterConfig{Accept: mesh.Ramp, Forward: mesh.Dirs(mesh.West)})
+		case v == 0:
+			pe.AddConfig(pongColor, fabric.RouterConfig{Accept: mesh.East, Forward: mesh.Dirs(mesh.Ramp)})
+		default:
+			pe.AddConfig(pongColor, fabric.RouterConfig{Accept: mesh.East, Forward: mesh.Dirs(mesh.West, mesh.Ramp)})
+		}
+	}
+
+	left := spec.PE(path[0])
+	right := spec.PE(path[p-1])
+	left.ClockSlots = 2
+	left.Ops = append(left.Ops, fabric.Op{Kind: fabric.OpSampleClock, Slot: 0})
+	for it := 0; it < k; it++ {
+		for v, c := range path {
+			pe := spec.PE(c)
+			switch v {
+			case 0:
+				pe.Ops = append(pe.Ops,
+					fabric.Op{Kind: fabric.OpSend, Color: pingColor, N: b},
+					fabric.Op{Kind: fabric.OpRecvStore, Color: pongColor, N: b})
+			case p - 1:
+				pe.Ops = append(pe.Ops,
+					fabric.Op{Kind: fabric.OpRecvStore, Color: pingColor, N: b},
+					fabric.Op{Kind: fabric.OpSend, Color: pongColor, N: b})
+			default:
+				pe.Ops = append(pe.Ops,
+					fabric.Op{Kind: fabric.OpRecvStore, Color: pingColor, N: b},
+					fabric.Op{Kind: fabric.OpRecvStore, Color: pongColor, N: b})
+			}
+		}
+	}
+	left.Ops = append(left.Ops, fabric.Op{Kind: fabric.OpSampleClock, Slot: 1})
+	_ = right
+
+	f, err := fabric.New(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	clocks := raw.Clocks[path[0]]
+	return &PingPongResult{
+		CyclesPerBroadcast: float64(clocks[1]-clocks[0]) / float64(2*k),
+		Iterations:         k,
+		Raw:                raw,
+	}, nil
+}

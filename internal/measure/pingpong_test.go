@@ -1,0 +1,74 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+)
+
+// TestPingPongMatchesLemma41: the per-broadcast time extracted by the
+// ping-pong procedure must track Lemma 4.1's B + P + 2T_R.
+func TestPingPongMatchesLemma41(t *testing.T) {
+	pr := model.Default()
+	for _, p := range []int{4, 32, 256} {
+		for _, b := range []int{1, 64, 1024} {
+			res, err := PingPongBroadcast(p, b, 4, fabric.Options{})
+			if err != nil {
+				t.Fatalf("p=%d b=%d: %v", p, b, err)
+			}
+			want := pr.Broadcast1D(p, b)
+			rel := math.Abs(res.CyclesPerBroadcast-want) / want
+			if rel > 0.15 {
+				t.Errorf("p=%d b=%d: ping-pong %.1f cycles/bcast, model %.0f (%.0f%% off)",
+					p, b, res.CyclesPerBroadcast, want, 100*rel)
+			}
+		}
+	}
+}
+
+// TestPingPongAmortisation: more iterations should not change the
+// per-broadcast estimate materially (the procedure exists to amortise
+// constant overheads).
+func TestPingPongAmortisation(t *testing.T) {
+	a, err := PingPongBroadcast(64, 128, 1, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := PingPongBroadcast(64, 128, 8, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a.CyclesPerBroadcast - c.CyclesPerBroadcast); d > 0.1*a.CyclesPerBroadcast {
+		t.Errorf("k=1: %.1f vs k=8: %.1f cycles/bcast", a.CyclesPerBroadcast, c.CyclesPerBroadcast)
+	}
+}
+
+// TestPingPongSurvivesSkew: the ping-pong measures a duration on a single
+// PE's clock, so clock skew must not affect it.
+func TestPingPongSurvivesSkew(t *testing.T) {
+	base, err := PingPongBroadcast(32, 64, 4, fabric.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := PingPongBroadcast(32, 64, 4, fabric.Options{ClockSkewMax: 1 << 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CyclesPerBroadcast != skewed.CyclesPerBroadcast {
+		t.Errorf("skew changed the measurement: %.1f vs %.1f", base.CyclesPerBroadcast, skewed.CyclesPerBroadcast)
+	}
+}
+
+func TestPingPongValidation(t *testing.T) {
+	if _, err := PingPongBroadcast(1, 8, 2, fabric.Options{}); err == nil {
+		t.Error("accepted single PE")
+	}
+	if _, err := PingPongBroadcast(8, 0, 2, fabric.Options{}); err == nil {
+		t.Error("accepted empty vector")
+	}
+	if _, err := PingPongBroadcast(8, 8, 0, fabric.Options{}); err == nil {
+		t.Error("accepted zero iterations")
+	}
+}

@@ -1,0 +1,161 @@
+// Package mesh defines the geometric vocabulary of the wafer-scale engine:
+// coordinates on the 2D grid, the five router directions, wavelet colors,
+// and the PE paths (rows, columns, snakes) on which 1D collectives run.
+package mesh
+
+import "fmt"
+
+// Direction identifies one of the five bidirectional links of a router:
+// the four mesh neighbours plus the ramp to the local processor.
+type Direction uint8
+
+const (
+	East Direction = iota
+	West
+	North
+	South
+	Ramp
+	// NumDirections is the number of router links.
+	NumDirections
+)
+
+// String returns the conventional single-word name of the direction.
+func (d Direction) String() string {
+	switch d {
+	case East:
+		return "east"
+	case West:
+		return "west"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case Ramp:
+		return "ramp"
+	}
+	return fmt.Sprintf("direction(%d)", uint8(d))
+}
+
+// Opposite returns the direction a wavelet sent towards d arrives from at
+// the receiving router. Opposite(Ramp) is Ramp: the processor and router
+// share the ramp link.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case East:
+		return West
+	case West:
+		return East
+	case North:
+		return South
+	case South:
+		return North
+	}
+	return Ramp
+}
+
+// DirSet is a bit set of directions, used for multicast forward sets.
+type DirSet uint8
+
+// Set returns s with d added.
+func (s DirSet) Set(d Direction) DirSet { return s | 1<<d }
+
+// Has reports whether d is in the set.
+func (s DirSet) Has(d Direction) bool { return s&(1<<d) != 0 }
+
+// Count returns the number of directions in the set.
+func (s DirSet) Count() int {
+	n := 0
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.Has(d) {
+			n++
+		}
+	}
+	return n
+}
+
+// String lists the directions in the set, e.g. "{west,ramp}".
+func (s DirSet) String() string {
+	out := "{"
+	first := true
+	for d := Direction(0); d < NumDirections; d++ {
+		if s.Has(d) {
+			if !first {
+				out += ","
+			}
+			out += d.String()
+			first = false
+		}
+	}
+	return out + "}"
+}
+
+// Dirs builds a DirSet from a list of directions.
+func Dirs(ds ...Direction) DirSet {
+	var s DirSet
+	for _, d := range ds {
+		s = s.Set(d)
+	}
+	return s
+}
+
+// NumColors is the number of wavelet colors available on the WSE-2.
+const NumColors = 24
+
+// Color tags a wavelet and selects the routing configuration used for it.
+type Color uint8
+
+// Coord addresses a PE on the grid. X grows eastwards, Y grows southwards,
+// matching the paper's (i, j) with the root of 2D collectives at (0, 0).
+type Coord struct {
+	X, Y int
+}
+
+// Add returns the coordinate one step in direction d. Stepping onto the
+// ramp returns the same coordinate.
+func (c Coord) Add(d Direction) Coord {
+	switch d {
+	case East:
+		return Coord{c.X + 1, c.Y}
+	case West:
+		return Coord{c.X - 1, c.Y}
+	case North:
+		return Coord{c.X, c.Y - 1}
+	case South:
+		return Coord{c.X, c.Y + 1}
+	}
+	return c
+}
+
+// DirTo returns the direction of the single-step move from c to n.
+// It panics if n is not a mesh neighbour of c; path construction is
+// programmer-controlled and a bad step is a bug, not an input error.
+func (c Coord) DirTo(n Coord) Direction {
+	switch {
+	case n.X == c.X+1 && n.Y == c.Y:
+		return East
+	case n.X == c.X-1 && n.Y == c.Y:
+		return West
+	case n.X == c.X && n.Y == c.Y-1:
+		return North
+	case n.X == c.X && n.Y == c.Y+1:
+		return South
+	}
+	panic(fmt.Sprintf("mesh: %v is not adjacent to %v", n, c))
+}
+
+// String formats the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Manhattan returns the L1 distance between two coordinates, the number of
+// hops a wavelet needs between the two routers.
+func (c Coord) Manhattan(o Coord) int {
+	dx := c.X - o.X
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := c.Y - o.Y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}

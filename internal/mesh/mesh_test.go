@@ -1,0 +1,111 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionOpposite(t *testing.T) {
+	cases := map[Direction]Direction{
+		East: West, West: East, North: South, South: North, Ramp: Ramp,
+	}
+	for d, want := range cases {
+		if got := d.Opposite(); got != want {
+			t.Errorf("Opposite(%v)=%v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestDirSet(t *testing.T) {
+	s := Dirs(West, Ramp)
+	if !s.Has(West) || !s.Has(Ramp) || s.Has(East) {
+		t.Errorf("bad set %v", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("count %d", s.Count())
+	}
+	if s.String() != "{west,ramp}" {
+		t.Errorf("string %q", s.String())
+	}
+}
+
+func TestCoordAddDirToInverse(t *testing.T) {
+	f := func(x, y int16, dRaw uint8) bool {
+		c := Coord{int(x), int(y)}
+		d := Direction(dRaw % 4)
+		n := c.Add(d)
+		return c.DirTo(n) == d && n.Manhattan(c) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirToPanicsOnNonNeighbour(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Coord{0, 0}.DirTo(Coord{2, 0})
+}
+
+func TestPathsValid(t *testing.T) {
+	for _, p := range []Path{
+		Row(3, 2, 10),
+		Column(1, 0, 7),
+		Snake(5, 8),
+		Snake(1, 16),
+		Snake(16, 1),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestSnakeCoversGrid(t *testing.T) {
+	m, n := 6, 9
+	p := Snake(m, n)
+	if len(p) != m*n {
+		t.Fatalf("len %d", len(p))
+	}
+	seen := make(map[Coord]bool, len(p))
+	for _, c := range p {
+		if c.X < 0 || c.X >= n || c.Y < 0 || c.Y >= m {
+			t.Fatalf("out of grid: %v", c)
+		}
+		if seen[c] {
+			t.Fatalf("repeat: %v", c)
+		}
+		seen[c] = true
+	}
+	if p[0] != (Coord{0, 0}) {
+		t.Errorf("snake starts at %v", p[0])
+	}
+}
+
+func TestPathValidateRejectsBadPaths(t *testing.T) {
+	if err := (Path{{0, 0}, {2, 0}}).Validate(); err == nil {
+		t.Error("gap accepted")
+	}
+	if err := (Path{{0, 0}, {1, 0}, {0, 0}}).Validate(); err == nil {
+		t.Error("repeat accepted")
+	}
+}
+
+func TestPathDirections(t *testing.T) {
+	p := Snake(2, 3) // (0,0)(1,0)(2,0)(2,1)(1,1)(0,1)
+	if d := p.TowardEnd(0); d != East {
+		t.Errorf("TowardEnd(0)=%v", d)
+	}
+	if d := p.TowardEnd(2); d != South {
+		t.Errorf("TowardEnd(2)=%v", d)
+	}
+	if d := p.TowardStart(3); d != North {
+		t.Errorf("TowardStart(3)=%v", d)
+	}
+	if d := p.TowardStart(4); d != East {
+		t.Errorf("TowardStart(4)=%v", d)
+	}
+}

@@ -1,0 +1,73 @@
+package mesh
+
+import "fmt"
+
+// Path is an ordered sequence of pairwise-adjacent PE coordinates. All 1D
+// collectives operate on a path; index 0 is the "west end" (towards the
+// root of a reduction) regardless of the path's physical shape.
+type Path []Coord
+
+// Validate checks that consecutive path entries are mesh neighbours and
+// that no coordinate repeats.
+func (p Path) Validate() error {
+	seen := make(map[Coord]struct{}, len(p))
+	for i, c := range p {
+		if _, dup := seen[c]; dup {
+			return fmt.Errorf("mesh: path visits %v twice", c)
+		}
+		seen[c] = struct{}{}
+		if i > 0 {
+			if p[i-1].Manhattan(c) != 1 {
+				return fmt.Errorf("mesh: path step %d: %v not adjacent to %v", i, c, p[i-1])
+			}
+		}
+	}
+	return nil
+}
+
+// TowardStart returns the direction from p[i] to p[i-1], i.e. the
+// "logical west" of the path at index i.
+func (p Path) TowardStart(i int) Direction { return p[i].DirTo(p[i-1]) }
+
+// TowardEnd returns the direction from p[i] to p[i+1], the "logical east".
+func (p Path) TowardEnd(i int) Direction { return p[i].DirTo(p[i+1]) }
+
+// Row returns the path of n PEs in row y starting at x0 and extending east.
+// Index 0 (the reduce root end) is the westmost PE.
+func Row(y, x0, n int) Path {
+	p := make(Path, n)
+	for i := range p {
+		p[i] = Coord{x0 + i, y}
+	}
+	return p
+}
+
+// Column returns the path of n PEs in column x starting at y0, extending
+// south. Index 0 is the northmost PE.
+func Column(x, y0, n int) Path {
+	p := make(Path, n)
+	for i := range p {
+		p[i] = Coord{x, y0 + i}
+	}
+	return p
+}
+
+// Snake returns the boustrophedon path covering an m×n grid (width n PEs,
+// height m PEs) starting at (0,0): row 0 eastwards, row 1 westwards, and so
+// on, so consecutive path entries are always mesh neighbours. This is the
+// mapping of the paper's Snake Reduce (§7.3, Figure 9b).
+func Snake(m, n int) Path {
+	p := make(Path, 0, m*n)
+	for y := 0; y < m; y++ {
+		if y%2 == 0 {
+			for x := 0; x < n; x++ {
+				p = append(p, Coord{x, y})
+			}
+		} else {
+			for x := n - 1; x >= 0; x-- {
+				p = append(p, Coord{x, y})
+			}
+		}
+	}
+	return p
+}

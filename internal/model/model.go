@@ -1,0 +1,200 @@
+// Package model implements the paper's performance model for the
+// wafer-scale engine (§3): the spatial cost metrics energy E, distance L,
+// depth D, contention C and link count N, the cycle estimate
+//
+//	T = max(C, E/N + L) + (2·T_R + 1)·D          (Eq. 1)
+//
+// and the closed-form instantiations for every Broadcast, Reduce and
+// AllReduce algorithm analysed in §4–§7 (Lemmas 4.1, 5.1–5.4, 6.1, 7.1).
+// All vector lengths B are measured in wavelets (32-bit elements), as in
+// Table 1.
+package model
+
+import "math"
+
+// Params hold the hardware parameters of the model. The only free
+// parameter is the ramp latency T_R, which the paper determines to be 2 on
+// the WSE-2 (any other choice "would lead to significantly worse
+// predictions", §8.7).
+type Params struct {
+	TR int
+}
+
+// Default returns the WSE-2 parameterisation.
+func Default() Params { return Params{TR: 2} }
+
+// ramp returns the per-depth-unit cost 2·T_R+1: a wavelet pays T_R down
+// and up the ramp plus one cycle to store the received element.
+func (pr Params) ramp() float64 { return float64(2*pr.TR + 1) }
+
+// Cost is a set of spatial metrics for a communication pattern.
+type Cost struct {
+	E float64 // energy: total wavelet hops
+	L float64 // distance: longest hop count of any wavelet
+	D float64 // depth: longest chain of dependent PE operations
+	C float64 // contention: wavelets sent/received by the busiest PE
+	N float64 // links used
+}
+
+// Time synthesises the metrics into the cycle estimate of Eq. 1.
+func (pr Params) Time(c Cost) float64 {
+	bw := c.C
+	if c.N > 0 {
+		if v := c.E/c.N + c.L; v > bw {
+			bw = v
+		}
+	}
+	return bw + pr.ramp()*c.D
+}
+
+// log2 returns log2(p) for the round-count of tree-structured algorithms;
+// the paper states formulas for powers of two, and fractional values
+// interpolate smoothly in between.
+func log2(p int) float64 { return math.Log2(float64(p)) }
+
+// Message is the cost of sending a B-wavelet vector across P consecutive
+// PEs (§4.1): T = B + P + 2·T_R. This is optimal for a single message.
+func (pr Params) Message(p, b int) float64 {
+	return float64(b) + float64(p) + float64(2*pr.TR)
+}
+
+// Broadcast1D is the flooding broadcast of §4.2. Multicast makes it cost
+// exactly a message (Lemma 4.1).
+func (pr Params) Broadcast1D(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return pr.Message(p, b)
+}
+
+// StarReduce is the refined Star Reduce estimate of §5.1: the direct
+// pattern pipelines perfectly, so T = B(P-1) + 2·T_R + 1.
+func (pr Params) StarReduce(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(b)*float64(p-1) + float64(2*pr.TR) + 1
+}
+
+// StarReduceUpper is Lemma 5.1's un-refined Star Reduce bound,
+// T ≤ max(B(P-1), P·B/2 + P-1) + 2·T_R + 1, which keeps the energy term.
+// Figure 1a's optimality ratios are computed against this form (at B=1 it
+// gives the paper's 1.5× for 512 PEs, where the refined pipeline estimate
+// would dip below the depth-free lower bound).
+func (pr Params) StarReduceUpper(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	cont := float64(b) * float64(p-1)
+	energy := float64(p)*float64(b)/2 + float64(p-1)
+	return math.Max(cont, energy) + float64(2*pr.TR) + 1
+}
+
+// ChainReduce is Lemma 5.2: T = B + (2·T_R+2)(P-1). This is the vendor's
+// pattern (used by the SDK collectives library and the matrix-multiply
+// kernel) and is optimal for B >> T_R·P.
+func (pr Params) ChainReduce(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(b) + float64(2*pr.TR+2)*float64(p-1)
+}
+
+// TreeReduce is Lemma 5.3 for the binomial tree:
+// T = max(B·log2 P, B·P·log2(P)/(2(P-1)) + P-1) + (2·T_R+1)·log2 P.
+func (pr Params) TreeReduce(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	lg := log2(p)
+	cont := float64(b) * lg
+	energy := float64(b)*float64(p)*lg/(2*float64(p-1)) + float64(p-1)
+	return math.Max(cont, energy) + pr.ramp()*lg
+}
+
+// TwoPhaseReduce is Lemma 5.4 with the paper's group size S = ceil(√P).
+func (pr Params) TwoPhaseReduce(p, b int) float64 {
+	return pr.TwoPhaseReduceS(p, b, 0)
+}
+
+// TwoPhaseReduceS is the Two-Phase Reduce with an explicit group size s
+// (s <= 0 selects ceil(√P)); exposing s supports the group-size ablation.
+// Phase 1 runs ⌈P/S⌉ chain reductions of S PEs each; phase 2 chains the
+// ⌈P/S⌉ group leaders. Contention is 2B (leaders receive two streams),
+// energy (S-1)·B·⌈P/S⌉ + S·B·(⌈P/S⌉-1) over P-1 links, depth
+// (S-1) + ⌈P/S⌉ - 1.
+func (pr Params) TwoPhaseReduceS(p, b, s int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		s = int(math.Ceil(math.Sqrt(float64(p))))
+	}
+	if s < 1 {
+		s = 1
+	}
+	groups := (p + s - 1) / s
+	depth := float64(s-1) + float64(groups-1)
+	energy := float64(s-1)*float64(b)*float64(groups) + float64(s)*float64(b)*float64(groups-1)
+	cont := 2 * float64(b)
+	if groups == 1 || s == 1 {
+		cont = float64(b)
+	}
+	bw := math.Max(cont, energy/float64(p-1)+float64(p-1))
+	return bw + pr.ramp()*depth
+}
+
+// RingAllReduce is Lemma 6.1: reduce-scatter plus allgather over a ring
+// mapped onto the row (both the simple and the distance-preserving mapping
+// of Figure 7 yield the same model cost):
+// T = 2(P-1)·B/P + 4P - 6 + 2(P-1)(2·T_R+1).
+// The paper evaluates ring analytically and shows it is never the best
+// choice on this fabric (§8.6), so — like the paper — we model it but do
+// not implement it.
+func (pr Params) RingAllReduce(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 2*float64(p-1)*float64(b)/float64(p) + 4*float64(p) - 6 + 2*float64(p-1)*pr.ramp()
+}
+
+// ButterflyAllReduce models the recursive-doubling butterfly (§2.1) on the
+// mesh: log2 P rounds in which every PE exchanges its full vector with a
+// partner at doubling distance. Per round r the exchange energy is
+// P·B·2^(r-1) over the 2(P-1) bidirectional row links, so the energy term
+// alone is P·B/2 — the pattern ignores multicast and drowns the fabric,
+// which is why Figure 11c shows it predicted far above every alternative.
+func (pr Params) ButterflyAllReduce(p, b int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	lg := log2(p)
+	cont := float64(b) * lg
+	energy := float64(p)*float64(b)/2 + float64(p-1)
+	return math.Max(cont, energy) + pr.ramp()*lg
+}
+
+// ReduceNames lists the fixed 1D Reduce patterns in the order the paper
+// presents them.
+var ReduceNames = []string{"star", "chain", "tree", "twophase"}
+
+// Reduce1D dispatches the closed-form Reduce estimate by pattern name.
+func (pr Params) Reduce1D(pattern string, p, b int) float64 {
+	switch pattern {
+	case "star":
+		return pr.StarReduce(p, b)
+	case "chain":
+		return pr.ChainReduce(p, b)
+	case "tree":
+		return pr.TreeReduce(p, b)
+	case "twophase":
+		return pr.TwoPhaseReduce(p, b)
+	}
+	return math.Inf(1)
+}
+
+// AllReduce1D is the Reduce-then-Broadcast AllReduce of §6.1 for a fixed
+// reduce pattern: T = T_reduce + T_bcast.
+func (pr Params) AllReduce1D(pattern string, p, b int) float64 {
+	return pr.Reduce1D(pattern, p, b) + pr.Broadcast1D(p, b)
+}

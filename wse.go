@@ -1,0 +1,187 @@
+// Package wse is a Go reproduction of "Near-Optimal Wafer-Scale Reduce"
+// (Luczynski, Gianinazzi et al., HPDC 2024): Reduce, AllReduce and
+// Broadcast collectives for 2D-mesh wafer-scale fabrics such as the
+// Cerebras WSE-2, together with the paper's performance model, runtime
+// lower bound, and the Auto-Gen model-driven code generator.
+//
+// Because physical wafer-scale hardware is not generally available, the
+// collectives execute on a cycle-level fabric simulator that models the
+// architectural features the paper identifies as decisive: per-color
+// routing configurations, hardware multicast, one-wavelet-per-cycle link
+// bandwidth with backpressure, and the ramp latency T_R between each
+// processor and its router. The paper notes the real machine behaves
+// deterministically enough to "be modeled with a cycle-accurate fabric
+// simulator" (§1.4); this package supplies that simulator.
+//
+// # Quick start
+//
+//	vectors := [][]float32{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+//	rep, err := wse.AllReduce(vectors, wse.Auto, wse.Sum, wse.Options{})
+//	// rep.Root == []float32{16, 20}; rep.Cycles is the simulated runtime,
+//	// rep.Predicted the model's estimate.
+//
+// Algorithms: Star, Chain (the vendor baseline), Tree, TwoPhase and
+// AutoGen from the paper's §5, or Auto to let the performance model pick —
+// the model-driven deployment the paper advocates. 2D grids use the X-Y
+// and Snake mappings of §7.
+package wse
+
+import (
+	"repro/internal/autogen"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+)
+
+// Algorithm names a 1D collective pattern.
+type Algorithm = core.Pattern
+
+// The 1D algorithms of the paper's §5. Chain is the pattern the vendor's
+// collectives library uses; AutoGen is the paper's automatically generated
+// reduce; Auto picks the best algorithm for the given shape from the
+// performance model.
+const (
+	Star     = core.Star
+	Chain    = core.Chain
+	Tree     = core.Tree
+	TwoPhase = core.TwoPhase
+	AutoGen  = core.AutoGen
+	Auto     = core.Auto
+	// Ring and RingDP (the distance-preserving mapping of Figure 7b) are
+	// valid for AllReduce only; they exist to verify experimentally the
+	// paper's model-only conclusion that ring rarely wins on this fabric.
+	Ring   = core.Ring
+	RingDP = core.RingDP
+)
+
+// Algorithm2D names a 2D collective mapping (§7): X-Y compositions of the
+// 1D patterns, or the Snake chain over the whole grid.
+type Algorithm2D = core.Pattern2D
+
+// The 2D algorithms. XYChain is the vendor baseline of the paper's 2D
+// comparisons; Auto2D selects by model.
+const (
+	XYStar     = core.XYStar
+	XYChain    = core.XYChain
+	XYTree     = core.XYTree
+	XYTwoPhase = core.XYTwoPhase
+	XYAutoGen  = core.XYAutoGen
+	Snake      = core.Snake
+	Auto2D     = core.Auto2D
+)
+
+// ReduceOp is the associative operation applied elementwise.
+type ReduceOp = fabric.ReduceOp
+
+// The supported reduction operators.
+const (
+	Sum = fabric.OpSum
+	Max = fabric.OpMax
+	Min = fabric.OpMin
+)
+
+// Options configure the simulated fabric; the zero value models the
+// WSE-2 (T_R = 2, queue depth 4, no clock skew, no thermal throttling).
+type Options = fabric.Options
+
+// Report is the outcome of a collective run: simulated cycles, the model
+// prediction for the same shape, the result vector(s) and measured fabric
+// statistics (energy, contention, queue depths).
+type Report = core.Report
+
+// Coord addresses a PE on the grid.
+type Coord = mesh.Coord
+
+// ReductionTree is a pre-order reduction tree over a row of PEs; obtain
+// one from AutoGenTree to inspect what the generator builds.
+type ReductionTree = comm.Tree
+
+// Reduce sums (or max/min-combines) one vector per PE along a row of
+// len(vectors) PEs into the leftmost PE, running the chosen algorithm on
+// the fabric simulator. The result vector is Report.Root.
+func Reduce(vectors [][]float32, alg Algorithm, op ReduceOp, opt Options) (*Report, error) {
+	return core.RunReduce1D(alg, vectors, op, opt)
+}
+
+// AllReduce leaves the combined vector on every PE of the row
+// (Reduce-then-Broadcast, §6.1).
+func AllReduce(vectors [][]float32, alg Algorithm, op ReduceOp, opt Options) (*Report, error) {
+	return core.RunAllReduce1D(alg, vectors, op, opt)
+}
+
+// Broadcast floods data from the leftmost PE across a row of p PEs
+// (§4.2); multicast makes it cost the same as one message.
+func Broadcast(data []float32, p int, opt Options) (*Report, error) {
+	return core.RunBroadcast1D(data, p, opt)
+}
+
+// Reduce2D reduces one vector per PE (row-major order) on a width×height
+// grid into PE (0,0).
+func Reduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp, opt Options) (*Report, error) {
+	return core.RunReduce2D(alg, width, height, vectors, op, opt)
+}
+
+// AllReduce2D leaves the combined vector on every PE of the grid
+// (2D Reduce plus the 2D flooding broadcast, §7.4).
+func AllReduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp, opt Options) (*Report, error) {
+	return core.RunAllReduce2D(alg, width, height, vectors, op, opt)
+}
+
+// Broadcast2D floods data from (0,0) across a width×height grid (§7.1).
+func Broadcast2D(data []float32, width, height int, opt Options) (*Report, error) {
+	return core.RunBroadcast2D(data, width, height, opt)
+}
+
+// trOf resolves the effective ramp latency of an Options value.
+func trOf(opt Options) int { return core.Params(opt).TR }
+
+// PredictReduce returns the performance model's cycle estimate for a 1D
+// Reduce (Eq. 1 instantiated per §5's lemmas).
+func PredictReduce(alg Algorithm, p, b int, opt Options) float64 {
+	return core.PredictReduce1D(alg, p, b, trOf(opt))
+}
+
+// PredictAllReduce returns the model estimate for Reduce-then-Broadcast.
+func PredictAllReduce(alg Algorithm, p, b int, opt Options) float64 {
+	return core.PredictAllReduce1D(alg, p, b, trOf(opt))
+}
+
+// PredictBroadcast returns Lemma 4.1's estimate B + P + 2·T_R.
+func PredictBroadcast(p, b int, opt Options) float64 {
+	return core.Params(Options{TR: opt.TR}).Broadcast1D(p, b)
+}
+
+// PredictReduce2D and PredictAllReduce2D estimate the 2D mappings of §7.
+func PredictReduce2D(alg Algorithm2D, width, height, b int, opt Options) float64 {
+	return core.PredictReduce2D(alg, width, height, b, trOf(opt))
+}
+
+// PredictAllReduce2D estimates 2D Reduce plus 2D broadcast.
+func PredictAllReduce2D(alg Algorithm2D, width, height, b int, opt Options) float64 {
+	return core.PredictAllReduce2D(alg, width, height, b, trOf(opt))
+}
+
+// LowerBoundReduce is the paper's 1D Reduce runtime lower bound T*(P,B)
+// (§5.6); Figure 1 reports every algorithm's ratio to it.
+func LowerBoundReduce(p, b int, opt Options) float64 {
+	return core.LowerBound1D(p, b, trOf(opt))
+}
+
+// BestAlgorithm returns the 1D algorithm the model predicts fastest for a
+// Reduce of p PEs and b wavelets, with its predicted cycle count.
+func BestAlgorithm(p, b int, opt Options) (Algorithm, float64) {
+	return core.BestReduce1D(p, b, trOf(opt))
+}
+
+// BestAlgorithm2D is the 2D counterpart of BestAlgorithm.
+func BestAlgorithm2D(width, height, b int, opt Options) (Algorithm2D, float64) {
+	return core.BestReduce2D(width, height, b, trOf(opt))
+}
+
+// AutoGenTree returns the reduction tree the Auto-Gen generator builds
+// for p PEs and b wavelets (§5.5): the tree minimising the model estimate
+// over all pre-order trees, reconstructed from the dynamic program.
+func AutoGenTree(p, b int, opt Options) ReductionTree {
+	return autogen.For(p).Tree(p, b, trOf(opt))
+}
