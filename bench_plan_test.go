@@ -1,0 +1,131 @@
+package wse
+
+// Benchmarks of the compiled-plan subsystem: what a collective costs when
+// every call re-compiles (the one-shot API) versus replaying a cached
+// plan (the Session API), and the plan-acquisition cost in isolation
+// (full compile versus cache lookup). The headline numbers are written to
+// BENCH_plan.json as a trajectory point.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+)
+
+const (
+	planBenchP = 512
+	planBenchB = 16
+)
+
+func planBenchReq() plan.Request {
+	return plan.Request{
+		Kind: plan.Reduce1D,
+		Alg:  core.Auto,
+		P:    planBenchP,
+		B:    planBenchB,
+		Op:   fabric.OpSum,
+	}
+}
+
+// BenchmarkPlanColdVsReplay measures the four corners of the plan
+// subsystem on a model-driven (Auto) 1D Reduce: end-to-end one-shot
+// (compile every call) vs Session replay (cached plan), and plan
+// acquisition alone, compile vs cache hit. It writes BENCH_plan.json.
+func BenchmarkPlanColdVsReplay(b *testing.B) {
+	vectors := constVectors(planBenchP, planBenchB)
+	point := map[string]any{
+		"bench": "plan-cold-vs-replay",
+		"shape": map[string]any{
+			"kind": "reduce1d", "alg": "auto",
+			"p": planBenchP, "b": planBenchB,
+		},
+	}
+
+	var coldNs, replayNs float64
+	b.Run("cold-compile-and-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Reduce(vectors, Auto, Sum, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	sess := NewSession(SessionConfig{})
+	if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cached-replay-and-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+		replayNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	var compileNs, lookupNs float64
+	b.Run("compile-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Compile(planBenchReq()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		compileNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	cache := plan.NewCache(8)
+	if _, err := cache.Get(planBenchReq()); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cache-lookup-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Get(planBenchReq()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		lookupNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if replayNs > 0 && lookupNs > 0 {
+		point["cold_ns_per_op"] = coldNs
+		point["replay_ns_per_op"] = replayNs
+		point["end_to_end_speedup"] = coldNs / replayNs
+		point["compile_ns_per_op"] = compileNs
+		point["lookup_ns_per_op"] = lookupNs
+		// The headline: what a plan costs cold (full model-driven
+		// compile) vs on a cache hit. End-to-end gains are bounded by
+		// the cycle-level simulation, which both paths must pay.
+		point["speedup"] = compileNs / lookupNs
+		b.ReportMetric(coldNs/replayNs, "end-to-end-x")
+		b.ReportMetric(compileNs/lookupNs, "acquisition-x")
+		buf, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_plan.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_plan.json not written: %v", err)
+		}
+	}
+}
+
+// BenchmarkSessionConcurrentReplay drives one cached plan from many
+// goroutines to measure worker-pool throughput in collectives/second.
+func BenchmarkSessionConcurrentReplay(b *testing.B) {
+	vectors := constVectors(planBenchP, planBenchB)
+	sess := NewSession(SessionConfig{})
+	if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "collectives/s")
+}

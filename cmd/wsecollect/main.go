@@ -1,6 +1,9 @@
-// Command wsecollect runs a single collective on the simulated wafer-scale
+// Command wsecollect runs a collective on the simulated wafer-scale
 // fabric and reports measured cycles, the model prediction, and the fabric
-// cost metrics (energy, contention).
+// cost metrics (energy, contention). Collectives execute through a
+// wse.Session, so the fabric program is compiled once and -repeat replays
+// the cached plan — pass -repeat to see the compiled-plan subsystem's
+// cold/warm split, and -workers to replay concurrently.
 //
 // Examples:
 //
@@ -8,14 +11,18 @@
 //	wsecollect -collective allreduce -alg auto -p 64 -bytes 4096 -op max
 //	wsecollect -collective reduce2d -alg2d snake -grid 32x32 -bytes 256
 //	wsecollect -collective broadcast -p 512 -bytes 16384
-//	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -thermal 0.01
+//	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -repeat 64 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	wse "repro"
 )
@@ -32,18 +39,23 @@ func main() {
 	thermal := flag.Float64("thermal", 0, "thermal no-op rate (paper: wafer inserts no-ops to avoid cracking)")
 	skew := flag.Int64("skew", 0, "max per-PE clock skew in cycles")
 	seed := flag.Uint64("seed", 1, "deterministic seed for skew/thermal")
+	repeat := flag.Int("repeat", 1, "run the collective this many times through the plan cache")
+	workers := flag.Int("workers", 0, "concurrent replays (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed); err != nil {
+	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed, *repeat, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64) error {
+func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64, repeat, workers int) error {
 	b := bytes / 4
 	if b < 1 {
 		return fmt.Errorf("vector must be at least 4 bytes")
+	}
+	if repeat < 1 {
+		repeat = 1
 	}
 	var op wse.ReduceOp
 	switch opName {
@@ -57,6 +69,7 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 		return fmt.Errorf("unknown op %q", opName)
 	}
 	opt := wse.Options{TR: tr, ThermalNoopRate: thermal, ClockSkewMax: skew, Seed: seed}
+	sess := wse.NewSession(wse.SessionConfig{Options: opt, Workers: workers})
 
 	var w, h int
 	if n, err := fmt.Sscanf(grid, "%dx%d", &w, &h); n != 2 || err != nil {
@@ -72,33 +85,76 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 		vec2d[i] = constVec(b, 1)
 	}
 
-	var rep *wse.Report
-	var err error
+	var once func() (*wse.Report, error)
 	var shape string
 	switch strings.ToLower(collective) {
 	case "reduce":
-		rep, err = wse.Reduce(vec1d, wse.Algorithm(alg), op, opt)
+		once = func() (*wse.Report, error) { return sess.Reduce(vec1d, wse.Algorithm(alg), op) }
 		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
 	case "allreduce":
-		rep, err = wse.AllReduce(vec1d, wse.Algorithm(alg), op, opt)
+		once = func() (*wse.Report, error) { return sess.AllReduce(vec1d, wse.Algorithm(alg), op) }
 		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
 	case "broadcast":
-		rep, err = wse.Broadcast(constVec(b, 1), p, opt)
+		data := constVec(b, 1)
+		once = func() (*wse.Report, error) { return sess.Broadcast(data, p) }
 		shape = fmt.Sprintf("%dx1 PEs", p)
 	case "reduce2d":
-		rep, err = wse.Reduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op, opt)
+		once = func() (*wse.Report, error) { return sess.Reduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op) }
 		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
 	case "allreduce2d":
-		rep, err = wse.AllReduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op, opt)
+		once = func() (*wse.Report, error) { return sess.AllReduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op) }
 		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
 	case "broadcast2d":
-		rep, err = wse.Broadcast2D(constVec(b, 1), w, h, opt)
+		data := constVec(b, 1)
+		once = func() (*wse.Report, error) { return sess.Broadcast2D(data, w, h) }
 		shape = fmt.Sprintf("%dx%d PEs", w, h)
 	default:
 		return fmt.Errorf("unknown collective %q", collective)
 	}
+
+	// Cold call: compiles the plan into the session cache.
+	coldStart := time.Now()
+	rep, err := once()
 	if err != nil {
 		return err
+	}
+	cold := time.Since(coldStart)
+
+	// Warm calls: replay the cached plan, concurrently when asked. A
+	// fixed pool of feeder goroutines (not one per repeat) drains the
+	// remaining count; the session's worker pool bounds the simulations.
+	var warm time.Duration
+	if repeat > 1 {
+		warmStart := time.Now()
+		feeders := workers
+		if feeders <= 0 {
+			feeders = runtime.GOMAXPROCS(0)
+		}
+		if feeders > repeat-1 {
+			feeders = repeat - 1
+		}
+		var remaining atomic.Int64
+		remaining.Store(int64(repeat - 1))
+		var wg sync.WaitGroup
+		errs := make(chan error, feeders)
+		for i := 0; i < feeders; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for remaining.Add(-1) >= 0 {
+					if _, err := once(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return err
+		}
+		warm = time.Since(warmStart) / time.Duration(repeat-1)
 	}
 
 	fmt.Printf("%s of %d bytes on %s\n", collective, bytes, shape)
@@ -112,6 +168,11 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 	}
 	if len(rep.Root) > 0 {
 		fmt.Printf("  result[0]  %10.1f (expect PE count for all-ones reduce input)\n", rep.Root[0])
+	}
+	if repeat > 1 {
+		st := sess.PlanStats()
+		fmt.Printf("  plan cache %10d hits, %d misses (cold %v, warm %v/op)\n",
+			st.Hits, st.Misses, cold.Round(time.Microsecond), warm.Round(time.Microsecond))
 	}
 	return nil
 }

@@ -4,6 +4,11 @@ package core
 // set: Scatter, Gather, ReduceScatter, AllGather (chunked, ring-based)
 // and the middle-root AllReduce of §6.1's root-placement remark. They
 // complete the MPI-style collective suite on the same fabric substrate.
+//
+// Each collective is split into a Build*Into compile half (program and
+// routing tables only, no initial data) and a Run* convenience that
+// compiles, binds inputs and executes. The plan subsystem caches the
+// output of the compile half and replays it.
 
 import (
 	"fmt"
@@ -20,23 +25,50 @@ const scatterColor mesh.Color = 5
 // Gather, ReduceScatter and AllGather: chunk j belongs to PE j.
 func Chunks(p, b int) (off, sz []int) { return comm.Chunks(p, b) }
 
+// BuildScatterInto compiles a chunked scatter of b elements over a row of
+// p PEs into spec; the caller sets Init on the root afterwards.
+func BuildScatterInto(spec *fabric.Spec, p, b int) error {
+	if p < 2 {
+		return fmt.Errorf("core: scatter needs at least 2 PEs")
+	}
+	return comm.BuildScatter(spec, mesh.Row(0, 0, p), b, scatterColor)
+}
+
 // RunScatter delivers chunk j of data to PE j along a row of p PEs
 // (chunk 0 stays at the root). Report.All[pe] holds each PE's chunk.
 func RunScatter(data []float32, p int, opt fabric.Options) (*Report, error) {
-	if p < 2 {
-		return nil, fmt.Errorf("core: scatter needs at least 2 PEs")
-	}
 	spec := fabric.NewSpec(p, 1)
-	path := mesh.Row(0, 0, p)
-	if err := comm.BuildScatter(spec, path, len(data), scatterColor); err != nil {
+	if err := BuildScatterInto(spec, p, len(data)); err != nil {
 		return nil, err
 	}
-	spec.PE(path[0]).Init = data
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
+	spec.PE(mesh.Coord{}).Init = data
+	return ExecSpec(spec, opt, Params(opt).Scatter(p, len(data)))
+}
+
+// BuildGatherInto compiles a chunked gather of b total elements over a
+// row of p PEs into spec.
+func BuildGatherInto(spec *fabric.Spec, p, b int) error {
+	if p < 2 {
+		return fmt.Errorf("core: gather needs at least 2 PEs")
 	}
-	return report(res, Params(opt).Scatter(p, len(data))), nil
+	return comm.BuildGather(spec, mesh.Row(0, 0, p), b, scatterColor)
+}
+
+// CheckChunks validates per-PE chunk lengths against the balanced layout
+// of Chunks and returns the total element count.
+func CheckChunks(chunks [][]float32) (int, error) {
+	p := len(chunks)
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	_, sz := comm.Chunks(p, b)
+	for j, c := range chunks {
+		if len(c) != sz[j] {
+			return 0, fmt.Errorf("core: chunk %d has %d elements, want %d", j, len(c), sz[j])
+		}
+	}
+	return b, nil
 }
 
 // RunGather assembles per-PE chunks into the full vector at the root.
@@ -46,29 +78,27 @@ func RunGather(chunks [][]float32, opt fabric.Options) (*Report, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("core: gather needs at least 2 PEs")
 	}
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	_, sz := comm.Chunks(p, b)
-	for j, c := range chunks {
-		if len(c) != sz[j] {
-			return nil, fmt.Errorf("core: chunk %d has %d elements, want %d", j, len(c), sz[j])
-		}
-	}
-	spec := fabric.NewSpec(p, 1)
-	path := mesh.Row(0, 0, p)
-	if err := comm.BuildGather(spec, path, b, scatterColor); err != nil {
-		return nil, err
-	}
-	for j, c := range path {
-		spec.PE(c).Init = chunks[j]
-	}
-	res, err := runSpec(spec, opt)
+	b, err := CheckChunks(chunks)
 	if err != nil {
 		return nil, err
 	}
-	return report(res, Params(opt).Gather(p, b)), nil
+	spec := fabric.NewSpec(p, 1)
+	if err := BuildGatherInto(spec, p, b); err != nil {
+		return nil, err
+	}
+	for j, c := range mesh.Row(0, 0, p) {
+		spec.PE(c).Init = chunks[j]
+	}
+	return ExecSpec(spec, opt, Params(opt).Gather(p, b))
+}
+
+// BuildReduceScatterInto compiles a ring reduce-scatter of b elements
+// over a row of p PEs into spec.
+func BuildReduceScatterInto(spec *fabric.Spec, p, b int, op fabric.ReduceOp) error {
+	if p < 2 {
+		return fmt.Errorf("core: reduce-scatter needs at least 2 PEs")
+	}
+	return comm.BuildReduceScatter(spec, mesh.Row(0, 0, p), b, comm.RingSimple, op)
 }
 
 // RunReduceScatter combines one vector per PE elementwise and leaves
@@ -81,18 +111,30 @@ func RunReduceScatter(vectors [][]float32, op fabric.ReduceOp, opt fabric.Option
 	}
 	p := len(vectors)
 	spec := fabric.NewSpec(p, 1)
-	path := mesh.Row(0, 0, p)
-	if err := comm.BuildReduceScatter(spec, path, b, comm.RingSimple, op); err != nil {
+	if err := BuildReduceScatterInto(spec, p, b, op); err != nil {
 		return nil, err
 	}
-	for i, c := range path {
+	for i, c := range mesh.Row(0, 0, p) {
 		spec.PE(c).Init = vectors[i]
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
+	return ExecSpec(spec, opt, Params(opt).ReduceScatter(p, b))
+}
+
+// BuildAllGatherInto compiles a ring allgather of b total elements over a
+// row of p PEs into spec.
+func BuildAllGatherInto(spec *fabric.Spec, p, b int) error {
+	if p < 2 {
+		return fmt.Errorf("core: allgather needs at least 2 PEs")
 	}
-	return report(res, Params(opt).ReduceScatter(p, b)), nil
+	return comm.BuildAllGather(spec, mesh.Row(0, 0, p), b, comm.RingSimple)
+}
+
+// AllGatherInit returns the b-length initial accumulator of a PE for an
+// allgather: its chunk placed at its Chunks offset, zeros elsewhere.
+func AllGatherInit(chunk []float32, off, b int) []float32 {
+	init := make([]float32, b)
+	copy(init[off:], chunk)
+	return init
 }
 
 // RunAllGather distributes per-PE chunks so every PE ends with the full
@@ -102,31 +144,27 @@ func RunAllGather(chunks [][]float32, opt fabric.Options) (*Report, error) {
 	if p < 2 {
 		return nil, fmt.Errorf("core: allgather needs at least 2 PEs")
 	}
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	off, sz := comm.Chunks(p, b)
-	for j, c := range chunks {
-		if len(c) != sz[j] {
-			return nil, fmt.Errorf("core: chunk %d has %d elements, want %d", j, len(c), sz[j])
-		}
-	}
-	spec := fabric.NewSpec(p, 1)
-	path := mesh.Row(0, 0, p)
-	if err := comm.BuildAllGather(spec, path, b, comm.RingSimple); err != nil {
-		return nil, err
-	}
-	for j, c := range path {
-		init := make([]float32, b)
-		copy(init[off[j]:], chunks[j])
-		spec.PE(c).Init = init
-	}
-	res, err := runSpec(spec, opt)
+	b, err := CheckChunks(chunks)
 	if err != nil {
 		return nil, err
 	}
-	return report(res, Params(opt).AllGather(p, b)), nil
+	spec := fabric.NewSpec(p, 1)
+	if err := BuildAllGatherInto(spec, p, b); err != nil {
+		return nil, err
+	}
+	off, _ := comm.Chunks(p, b)
+	for j, c := range mesh.Row(0, 0, p) {
+		spec.PE(c).Init = AllGatherInit(chunks[j], off[j], b)
+	}
+	return ExecSpec(spec, opt, Params(opt).AllGather(p, b))
+}
+
+// BuildAllReduceMidRootInto compiles the middle-root AllReduce for a
+// concrete pattern (resolve Auto with BestReduce1D(p/2+1, b, tr) first).
+func BuildAllReduceMidRootInto(spec *fabric.Spec, pattern Pattern, p, b, tr int, op fabric.ReduceOp) error {
+	path := mesh.Row(0, 0, p)
+	treeFor := func(n int) (comm.Tree, error) { return TreeFor(pattern, n, b, tr) }
+	return comm.BuildAllReduceMidRoot(spec, path, b, treeFor, op)
 }
 
 // RunAllReduceMidRoot runs the middle-root AllReduce: both row halves
@@ -143,17 +181,11 @@ func RunAllReduceMidRoot(pattern Pattern, vectors [][]float32, op fabric.ReduceO
 		pattern, _ = BestReduce1D(p/2+1, b, tr)
 	}
 	spec := fabric.NewSpec(p, 1)
-	path := mesh.Row(0, 0, p)
-	treeFor := func(n int) (comm.Tree, error) { return TreeFor(pattern, n, b, tr) }
-	if err := comm.BuildAllReduceMidRoot(spec, path, b, treeFor, op); err != nil {
+	if err := BuildAllReduceMidRootInto(spec, pattern, p, b, tr, op); err != nil {
 		return nil, err
 	}
-	for i, c := range path {
+	for i, c := range mesh.Row(0, 0, p) {
 		spec.PE(c).Init = vectors[i]
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, Params(opt).MidRootAllReduce(string(pattern), p, b)), nil
+	return ExecSpec(spec, opt, Params(opt).MidRootAllReduce(string(pattern), p, b))
 }

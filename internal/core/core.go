@@ -190,11 +190,7 @@ func RunReduce1D(pattern Pattern, vectors [][]float32, op fabric.ReduceOp, opt f
 	for i, c := range mesh.Row(0, 0, p) {
 		spec.PE(c).Init = vectors[i]
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, PredictReduce1D(pattern, p, b, tr)), nil
+	return ExecSpec(spec, opt, PredictReduce1D(pattern, p, b, tr))
 }
 
 // RunAllReduce1D runs Reduce-then-Broadcast AllReduce along a row.
@@ -212,37 +208,50 @@ func RunAllReduce1D(pattern Pattern, vectors [][]float32, op fabric.ReduceOp, op
 	for i, c := range mesh.Row(0, 0, p) {
 		spec.PE(c).Init = vectors[i]
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, PredictAllReduce1D(pattern, p, b, tr)), nil
+	return ExecSpec(spec, opt, PredictAllReduce1D(pattern, p, b, tr))
 }
 
-// RunBroadcast1D floods data from the leftmost PE of a row of p PEs.
-func RunBroadcast1D(data []float32, p int, opt fabric.Options) (*Report, error) {
-	if len(data) == 0 {
-		return nil, fmt.Errorf("core: empty vector")
+// BuildBroadcast1DInto compiles a 1D flooding broadcast for p PEs into
+// spec; the caller sets Init on the leftmost PE afterwards.
+func BuildBroadcast1DInto(spec *fabric.Spec, p, b int) error {
+	if b < 1 {
+		return fmt.Errorf("core: empty vector")
 	}
 	if p < 1 {
-		return nil, fmt.Errorf("core: %d PEs", p)
+		return fmt.Errorf("core: %d PEs", p)
 	}
-	spec := fabric.NewSpec(p, 1)
 	path := mesh.Row(0, 0, p)
 	if p > 1 {
-		if err := comm.BuildBroadcast(spec, path, len(data), comm.ColorBcast); err != nil {
-			return nil, err
+		if err := comm.BuildBroadcast(spec, path, b, comm.ColorBcast); err != nil {
+			return err
 		}
 	}
 	for _, c := range path {
 		spec.PE(c) // materialise every PE even when p == 1
 	}
-	spec.PE(path[0]).Init = data
+	return nil
+}
+
+// RunBroadcast1D floods data from the leftmost PE of a row of p PEs.
+func RunBroadcast1D(data []float32, p int, opt fabric.Options) (*Report, error) {
+	spec := fabric.NewSpec(p, 1)
+	if err := BuildBroadcast1DInto(spec, p, len(data)); err != nil {
+		return nil, err
+	}
+	spec.PE(mesh.Coord{}).Init = data
+	return ExecSpec(spec, opt, Params(opt).Broadcast1D(p, len(data)))
+}
+
+// ExecSpec instantiates and runs a compiled spec on the fabric simulator
+// and wraps the result in a Report carrying the given model prediction.
+// It is the execute half of the compile/execute split: the plan subsystem
+// replays cached specs through it.
+func ExecSpec(spec *fabric.Spec, opt fabric.Options, predicted float64) (*Report, error) {
 	res, err := runSpec(spec, opt)
 	if err != nil {
 		return nil, err
 	}
-	return report(res, Params(opt).Broadcast1D(p, len(data))), nil
+	return report(res, predicted), nil
 }
 
 func runSpec(spec *fabric.Spec, opt fabric.Options) (*fabric.Result, error) {

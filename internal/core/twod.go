@@ -28,6 +28,10 @@ const (
 // Patterns2D lists the concrete (runnable) 2D patterns.
 var Patterns2D = []Pattern2D{XYStar, XYChain, XYTree, XYTwoPhase, XYAutoGen, Snake}
 
+// Base1D returns the 1D pattern underlying an X-Y composition, or false
+// for Snake and Auto2D.
+func (p Pattern2D) Base1D() (Pattern, bool) { return p.base1D() }
+
 // base1D returns the 1D pattern underlying an X-Y composition.
 func (p Pattern2D) base1D() (Pattern, bool) {
 	switch p {
@@ -96,6 +100,23 @@ func BuildAllReduce2DInto(spec *fabric.Spec, pattern Pattern2D, width, height, b
 	return comm.BuildBroadcast2D(spec, width, height, b, comm.ColorBcast2)
 }
 
+// BuildBroadcast2DInto compiles a 2D flooding broadcast into spec,
+// materialising every PE of the region; the caller sets Init on (0,0).
+func BuildBroadcast2DInto(spec *fabric.Spec, width, height, b int) error {
+	if b < 1 {
+		return fmt.Errorf("core: empty vector")
+	}
+	if err := comm.BuildBroadcast2D(spec, width, height, b, comm.ColorBcast2); err != nil {
+		return err
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			spec.PE(mesh.Coord{X: x, Y: y})
+		}
+	}
+	return nil
+}
+
 // buildReduce2D compiles a 2D reduce into spec.
 func buildReduce2D(spec *fabric.Spec, pattern Pattern2D, width, height, b, tr int, op fabric.ReduceOp) error {
 	if pattern == Snake {
@@ -148,11 +169,7 @@ func RunReduce2D(pattern Pattern2D, width, height int, vectors [][]float32, op f
 	if err := gridInit(spec, width, height, vectors); err != nil {
 		return nil, err
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, PredictReduce2D(pattern, width, height, b, tr)), nil
+	return ExecSpec(spec, opt, PredictReduce2D(pattern, width, height, b, tr))
 }
 
 // RunAllReduce2D runs a 2D Reduce followed by the 2D flooding broadcast.
@@ -175,31 +192,15 @@ func RunAllReduce2D(pattern Pattern2D, width, height int, vectors [][]float32, o
 	if err := gridInit(spec, width, height, vectors); err != nil {
 		return nil, err
 	}
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, PredictAllReduce2D(pattern, width, height, b, tr)), nil
+	return ExecSpec(spec, opt, PredictAllReduce2D(pattern, width, height, b, tr))
 }
 
 // RunBroadcast2D floods data from (0,0) across a width×height grid.
 func RunBroadcast2D(data []float32, width, height int, opt fabric.Options) (*Report, error) {
-	if len(data) == 0 {
-		return nil, fmt.Errorf("core: empty vector")
-	}
 	spec := fabric.NewSpec(width, height)
-	if err := comm.BuildBroadcast2D(spec, width, height, len(data), comm.ColorBcast2); err != nil {
+	if err := BuildBroadcast2DInto(spec, width, height, len(data)); err != nil {
 		return nil, err
-	}
-	for y := 0; y < height; y++ {
-		for x := 0; x < width; x++ {
-			spec.PE(mesh.Coord{X: x, Y: y})
-		}
 	}
 	spec.PE(mesh.Coord{}).Init = data
-	res, err := runSpec(spec, opt)
-	if err != nil {
-		return nil, err
-	}
-	return report(res, Params(opt).Broadcast2D(height, width, len(data))), nil
+	return ExecSpec(spec, opt, Params(opt).Broadcast2D(height, width, len(data)))
 }

@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds a Cache when the caller passes no capacity.
+const DefaultCacheCapacity = 128
+
+// CacheStats reports a cache's accounting: Hits counts lookups served
+// from a resident or in-flight plan, Misses the lookups that triggered a
+// compile, Evictions the plans dropped at capacity, and Size the resident
+// plan count.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int
+}
+
+// Cache is a content-keyed LRU of compiled plans. Lookups for the same
+// key that race an in-flight compile coalesce onto it (and count as hits)
+// instead of compiling twice.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[Key]*list.Element
+	lru       list.List // front = most recently used; values are *Plan
+	compiling map[Key]*inflight
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type inflight struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// NewCache returns a cache holding at most capacity plans
+// (DefaultCacheCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity:  capacity,
+		entries:   make(map[Key]*list.Element),
+		compiling: make(map[Key]*inflight),
+	}
+}
+
+// Get returns the plan for req, compiling and inserting it on a miss.
+func (c *Cache) Get(req Request) (*Plan, error) {
+	key := KeyOf(req)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		p := el.Value.(*Plan)
+		c.mu.Unlock()
+		return p, nil
+	}
+	if fl, ok := c.compiling[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.plan, fl.err
+	}
+	c.misses++
+	fl := &inflight{done: make(chan struct{})}
+	c.compiling[key] = fl
+	c.mu.Unlock()
+
+	fl.plan, fl.err = Compile(req)
+
+	c.mu.Lock()
+	delete(c.compiling, key)
+	if fl.err == nil {
+		c.insert(key, fl.plan)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.plan, fl.err
+}
+
+// Peek reports whether a plan for req is resident, without compiling or
+// touching the stats and recency order.
+func (c *Cache) Peek(req Request) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[KeyOf(req)]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Plan), true
+}
+
+// insert adds a plan under key, evicting from the cold end at capacity.
+// The caller holds c.mu.
+func (c *Cache) insert(key Key, p *Plan) {
+	if el, ok := c.entries[key]; ok { // racing insert of the same key
+		c.lru.MoveToFront(el)
+		el.Value = p
+		return
+	}
+	c.entries[key] = c.lru.PushFront(p)
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*Plan).Key)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+	}
+}
+
+// Capacity returns the maximum resident plan count.
+func (c *Cache) Capacity() int { return c.capacity }

@@ -1,0 +1,389 @@
+// Package plan is the compiled-plan subsystem: the model-driven
+// deployment the paper advocates (§5.5, §7) done once instead of per
+// call. A Plan is a fully lowered collective — the fabric Spec (processor
+// programs and per-color routing tables), the resolved algorithm and its
+// reduction trees, the routing colors in use, and the performance-model
+// prediction. Compiling a plan pays for tree search, program generation
+// and validation; replaying one only binds fresh input vectors and runs
+// the simulator. The Cache keys plans by their full content (kind,
+// algorithm, shape, vector length, reduction op, fabric options) so a
+// serving workload compiles each distinct collective exactly once.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/mesh"
+)
+
+// Kind names a collective a plan can capture.
+type Kind string
+
+// The collective kinds of the suite: the paper's Reduce/AllReduce/
+// Broadcast in 1D and 2D, the chunked MPI-style extensions, and the
+// middle-root AllReduce of §6.1.
+const (
+	Reduce1D         Kind = "reduce1d"
+	AllReduce1D      Kind = "allreduce1d"
+	Broadcast1D      Kind = "broadcast1d"
+	Reduce2D         Kind = "reduce2d"
+	AllReduce2D      Kind = "allreduce2d"
+	Broadcast2D      Kind = "broadcast2d"
+	Scatter          Kind = "scatter"
+	Gather           Kind = "gather"
+	ReduceScatter    Kind = "reducescatter"
+	AllGather        Kind = "allgather"
+	AllReduceMidRoot Kind = "allreduce-midroot"
+)
+
+// Request describes the collective to compile. Alg applies to the 1D
+// tree/ring kinds, Alg2D to the 2D kinds; P is the row length of 1D
+// kinds, Width×Height the grid of 2D kinds; B is the vector length in
+// wavelets (for the chunked kinds, the total element count).
+type Request struct {
+	Kind   Kind
+	Alg    core.Pattern
+	Alg2D  core.Pattern2D
+	P      int
+	Width  int
+	Height int
+	B      int
+	Op     fabric.ReduceOp
+	Opt    fabric.Options
+}
+
+// OptKey is the comparable projection of fabric.Options used in cache
+// keys: every field that influences compilation or execution, with the
+// ramp latency normalised (0 and the explicit default compile
+// identically) and the Tracer handle dropped.
+type OptKey struct {
+	TR              int
+	QueueCap        int
+	MaxCycles       int64
+	ClockSkewMax    int64
+	ThermalNoopRate float64
+	TaskActivation  int
+	Seed            uint64
+}
+
+// Key is the content key of a compiled plan.
+type Key struct {
+	Kind   Kind
+	Alg    core.Pattern
+	Alg2D  core.Pattern2D
+	P      int
+	Width  int
+	Height int
+	B      int
+	Op     fabric.ReduceOp
+	Opt    OptKey
+}
+
+// KeyOf derives the content key of a request.
+func KeyOf(req Request) Key {
+	return Key{
+		Kind:   req.Kind,
+		Alg:    req.Alg,
+		Alg2D:  req.Alg2D,
+		P:      req.P,
+		Width:  req.Width,
+		Height: req.Height,
+		B:      req.B,
+		Op:     req.Op,
+		Opt: OptKey{
+			TR:              core.Params(req.Opt).TR,
+			QueueCap:        req.Opt.QueueCap,
+			MaxCycles:       req.Opt.MaxCycles,
+			ClockSkewMax:    req.Opt.ClockSkewMax,
+			ThermalNoopRate: req.Opt.ThermalNoopRate,
+			TaskActivation:  req.Opt.TaskActivation,
+			Seed:            req.Opt.Seed,
+		},
+	}
+}
+
+// Plan is a compiled collective: an immutable fabric program plus the
+// metadata of the compilation. Plans are safe for concurrent replay —
+// Execute never mutates the plan.
+type Plan struct {
+	// Key is the content key the plan was compiled under.
+	Key Key
+	// Kind, P, Width, Height, B, Op echo the request.
+	Kind          Kind
+	P             int
+	Width, Height int
+	B             int
+	Op            fabric.ReduceOp
+	// Alg / Alg2D are the concrete algorithms the plan lowered: Auto
+	// requests arrive here resolved by the performance model.
+	Alg   core.Pattern
+	Alg2D core.Pattern2D
+	// Opt are the fabric options replays execute under.
+	Opt fabric.Options
+	// Predicted is the performance model's cycle estimate.
+	Predicted float64
+	// Spec is the lowered fabric program, without initial data. It must
+	// be treated as read-only; Execute binds inputs into per-run copies.
+	Spec *fabric.Spec
+	// Tree is the reduction tree of tree-based 1D kinds; RowTree and
+	// ColTree are the X-Y trees of tree-based 2D kinds.
+	Tree, RowTree, ColTree comm.Tree
+	// Colors lists the routing colors the program occupies.
+	Colors []mesh.Color
+}
+
+// tr is the normalised ramp latency used throughout compilation.
+func (r Request) tr() int { return core.Params(r.Opt).TR }
+
+// resolve replaces Auto algorithm selections with the concrete choice of
+// the performance model, exactly as the one-shot Run* functions do.
+func (r Request) resolve() Request {
+	switch r.Kind {
+	case Reduce1D, AllReduce1D:
+		if r.Alg == core.Auto {
+			r.Alg, _ = core.BestReduce1D(r.P, r.B, r.tr())
+		}
+	case AllReduceMidRoot:
+		if r.Alg == core.Auto {
+			r.Alg, _ = core.BestReduce1D(r.P/2+1, r.B, r.tr())
+		}
+	case Reduce2D, AllReduce2D:
+		if r.Alg2D == core.Auto2D {
+			r.Alg2D, _ = core.BestReduce2D(r.Width, r.Height, r.B, r.tr())
+		}
+	}
+	return r
+}
+
+// Compile lowers a request to a Plan: it resolves Auto selections,
+// derives the reduction trees, generates the fabric program, validates
+// it, and records the model prediction. This is the cold path the cache
+// amortises away.
+func Compile(req Request) (*Plan, error) {
+	key := KeyOf(req)
+	req = req.resolve()
+	tr := req.tr()
+	p := &Plan{
+		Key:    key,
+		Kind:   req.Kind,
+		P:      req.P,
+		Width:  req.Width,
+		Height: req.Height,
+		B:      req.B,
+		Op:     req.Op,
+		Alg:    req.Alg,
+		Alg2D:  req.Alg2D,
+		Opt:    req.Opt,
+	}
+	if req.B < 1 {
+		return nil, fmt.Errorf("plan: vector length %d", req.B)
+	}
+	switch req.Kind {
+	case Reduce1D, AllReduce1D, Broadcast1D, Scatter, Gather,
+		ReduceScatter, AllGather, AllReduceMidRoot:
+		if req.P < 1 {
+			return nil, fmt.Errorf("plan: %d PEs", req.P)
+		}
+		p.Spec = fabric.NewSpec(req.P, 1)
+	case Reduce2D, AllReduce2D, Broadcast2D:
+		if req.Width < 1 || req.Height < 1 {
+			return nil, fmt.Errorf("plan: %dx%d grid", req.Width, req.Height)
+		}
+		p.Spec = fabric.NewSpec(req.Width, req.Height)
+	default:
+		return nil, fmt.Errorf("plan: unknown kind %q", req.Kind)
+	}
+
+	var err error
+	switch req.Kind {
+	case Reduce1D:
+		err = core.BuildReduce1DInto(p.Spec, req.Alg, req.P, req.B, tr, req.Op)
+		p.Predicted = core.PredictReduce1D(req.Alg, req.P, req.B, tr)
+	case AllReduce1D:
+		err = core.BuildAllReduce1DInto(p.Spec, req.Alg, req.P, req.B, tr, req.Op)
+		p.Predicted = core.PredictAllReduce1D(req.Alg, req.P, req.B, tr)
+	case Broadcast1D:
+		err = core.BuildBroadcast1DInto(p.Spec, req.P, req.B)
+		p.Predicted = core.Params(req.Opt).Broadcast1D(req.P, req.B)
+	case Reduce2D:
+		err = core.BuildReduce2DInto(p.Spec, req.Alg2D, req.Width, req.Height, req.B, tr, req.Op)
+		p.Predicted = core.PredictReduce2D(req.Alg2D, req.Width, req.Height, req.B, tr)
+	case AllReduce2D:
+		err = core.BuildAllReduce2DInto(p.Spec, req.Alg2D, req.Width, req.Height, req.B, tr, req.Op)
+		p.Predicted = core.PredictAllReduce2D(req.Alg2D, req.Width, req.Height, req.B, tr)
+	case Broadcast2D:
+		err = core.BuildBroadcast2DInto(p.Spec, req.Width, req.Height, req.B)
+		p.Predicted = core.Params(req.Opt).Broadcast2D(req.Height, req.Width, req.B)
+	case Scatter:
+		err = core.BuildScatterInto(p.Spec, req.P, req.B)
+		p.Predicted = core.Params(req.Opt).Scatter(req.P, req.B)
+	case Gather:
+		err = core.BuildGatherInto(p.Spec, req.P, req.B)
+		p.Predicted = core.Params(req.Opt).Gather(req.P, req.B)
+	case ReduceScatter:
+		err = core.BuildReduceScatterInto(p.Spec, req.P, req.B, req.Op)
+		p.Predicted = core.Params(req.Opt).ReduceScatter(req.P, req.B)
+	case AllGather:
+		err = core.BuildAllGatherInto(p.Spec, req.P, req.B)
+		p.Predicted = core.Params(req.Opt).AllGather(req.P, req.B)
+	case AllReduceMidRoot:
+		err = core.BuildAllReduceMidRootInto(p.Spec, req.Alg, req.P, req.B, tr, req.Op)
+		p.Predicted = core.Params(req.Opt).MidRootAllReduce(string(req.Alg), req.P, req.B)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.recordTrees(tr); err != nil {
+		return nil, err
+	}
+	p.Colors = specColors(p.Spec)
+	return p, nil
+}
+
+// recordTrees stores the reduction-tree metadata of tree-based kinds.
+func (p *Plan) recordTrees(tr int) error {
+	var err error
+	switch p.Kind {
+	case Reduce1D, AllReduce1D:
+		if p.Alg != core.Ring && p.Alg != core.RingDP {
+			p.Tree, err = core.TreeFor(p.Alg, p.P, p.B, tr)
+		}
+	case Reduce2D, AllReduce2D:
+		if base, ok := p.Alg2D.Base1D(); ok {
+			if p.RowTree, err = core.TreeFor(base, p.Width, p.B, tr); err != nil {
+				return err
+			}
+			p.ColTree, err = core.TreeFor(base, p.Height, p.B, tr)
+		}
+	}
+	return err
+}
+
+// specColors collects the distinct routing colors a program occupies.
+func specColors(s *fabric.Spec) []mesh.Color {
+	var seen [mesh.NumColors]bool
+	for _, pe := range s.PEs {
+		for c := range pe.Configs {
+			seen[c] = true
+		}
+	}
+	var out []mesh.Color
+	for c, ok := range seen {
+		if ok {
+			out = append(out, mesh.Color(c))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bind produces a per-run spec: fresh PESpec headers sharing the plan's
+// immutable programs and routing tables, with Init set from inputs. The
+// fabric engine copies Init and never writes through Ops or Configs, so
+// concurrent replays of one plan are race-free.
+func (p *Plan) bind(inputs [][]float32) (*fabric.Spec, error) {
+	s := fabric.NewSpec(p.Spec.Width, p.Spec.Height)
+	for c, pe := range p.Spec.PEs {
+		cp := *pe
+		cp.Init = nil
+		s.PEs[c] = &cp
+	}
+	switch p.Kind {
+	case Broadcast1D, Broadcast2D, Scatter:
+		if len(inputs) != 1 || len(inputs[0]) != p.B {
+			return nil, fmt.Errorf("plan: %s wants one %d-element vector", p.Kind, p.B)
+		}
+		s.PE(mesh.Coord{}).Init = inputs[0]
+	case Gather, AllGather:
+		if len(inputs) != p.P {
+			return nil, fmt.Errorf("plan: %s wants %d chunks, got %d", p.Kind, p.P, len(inputs))
+		}
+		if b, err := core.CheckChunks(inputs); err != nil {
+			return nil, err
+		} else if b != p.B {
+			return nil, fmt.Errorf("plan: chunks total %d elements, plan wants %d", b, p.B)
+		}
+		off, _ := core.Chunks(p.P, p.B)
+		for j, c := range mesh.Row(0, 0, p.P) {
+			if p.Kind == AllGather {
+				s.PE(c).Init = core.AllGatherInit(inputs[j], off[j], p.B)
+			} else {
+				s.PE(c).Init = inputs[j]
+			}
+		}
+	case Reduce1D, AllReduce1D, ReduceScatter, AllReduceMidRoot:
+		if err := checkVectors(inputs, p.P, p.B); err != nil {
+			return nil, err
+		}
+		for i, c := range mesh.Row(0, 0, p.P) {
+			s.PE(c).Init = inputs[i]
+		}
+	case Reduce2D, AllReduce2D:
+		n := p.Width * p.Height
+		if err := checkVectors(inputs, n, p.B); err != nil {
+			return nil, err
+		}
+		i := 0
+		for y := 0; y < p.Height; y++ {
+			for x := 0; x < p.Width; x++ {
+				s.PE(mesh.Coord{X: x, Y: y}).Init = inputs[i]
+				i++
+			}
+		}
+	}
+	return s, nil
+}
+
+func checkVectors(inputs [][]float32, n, b int) error {
+	if len(inputs) != n {
+		return fmt.Errorf("plan: %d input vectors, want %d", len(inputs), n)
+	}
+	for i, v := range inputs {
+		if len(v) != b {
+			return fmt.Errorf("plan: vector %d has length %d, want %d", i, len(v), b)
+		}
+	}
+	return nil
+}
+
+// Execute replays the plan with fresh inputs on the fabric simulator.
+// For broadcast and scatter kinds, inputs is the single root vector
+// wrapped in a one-element slice; for chunked kinds, the per-PE chunks;
+// otherwise one vector per PE. Execute is safe to call concurrently.
+func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
+	s, err := p.bind(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return core.ExecSpec(s, p.Opt, p.Predicted)
+}
+
+// Stamp deep-copies the plan's program into dst, which must span the same
+// region. Unlike the replay path, the copy owns its Ops and Configs
+// storage, so callers (e.g. the §8.3 measurement instrumenter) may rewrite
+// programs freely without corrupting the cached plan.
+func (p *Plan) Stamp(dst *fabric.Spec) error {
+	if dst.Width != p.Spec.Width || dst.Height != p.Spec.Height {
+		return fmt.Errorf("plan: stamp into %dx%d region, plan is %dx%d",
+			dst.Width, dst.Height, p.Spec.Width, p.Spec.Height)
+	}
+	for c, pe := range p.Spec.PEs {
+		d := dst.PE(c)
+		d.Ops = append([]fabric.Op(nil), pe.Ops...)
+		d.ClockSlots = pe.ClockSlots
+		if pe.Configs != nil {
+			d.Configs = make(map[mesh.Color][]fabric.RouterConfig, len(pe.Configs))
+			for col, cfgs := range pe.Configs {
+				d.Configs[col] = append([]fabric.RouterConfig(nil), cfgs...)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+)
+
+// Session is the serving-shaped executor over the plan cache: requests
+// are compiled once (cold path), then replayed from the cache (hot path),
+// with concurrent fabric simulations bounded by a worker pool. A Session
+// is safe for use from many goroutines; independent collectives run
+// concurrently up to the pool size, and further callers queue.
+type Session struct {
+	cache *Cache
+	slots chan struct{}
+}
+
+// NewSession returns a session with the given plan-cache capacity and
+// worker-pool size (<= 0 selects DefaultCacheCapacity and GOMAXPROCS).
+func NewSession(cacheCapacity, workers int) *Session {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		cache: NewCache(cacheCapacity),
+		slots: make(chan struct{}, workers),
+	}
+}
+
+// Plan returns the compiled plan for req, from cache when resident.
+// Compilation does not occupy a worker slot: cold-path plan construction
+// and hot-path simulation contend for different resources.
+func (s *Session) Plan(req Request) (*Plan, error) {
+	return s.cache.Get(req)
+}
+
+// Run compiles (or fetches) the plan for req and replays it with the
+// given inputs under a worker slot.
+func (s *Session) Run(req Request, inputs [][]float32) (*core.Report, error) {
+	p, err := s.cache.Get(req)
+	if err != nil {
+		return nil, err
+	}
+	s.slots <- struct{}{}
+	defer func() { <-s.slots }()
+	return p.Execute(inputs)
+}
+
+// Stats snapshots the plan-cache accounting.
+func (s *Session) Stats() CacheStats { return s.cache.Stats() }
+
+// Workers returns the worker-pool size.
+func (s *Session) Workers() int { return cap(s.slots) }

@@ -1,0 +1,134 @@
+package wse
+
+// Session is the compiled-plan executor: the paper's model-driven
+// deployment (§5.5) turned into a serving engine. The one-shot functions
+// (Reduce, AllReduce2D, ...) re-derive the reduction tree, re-lower it to
+// a fabric program and re-validate it on every call; a Session does that
+// work once per distinct collective shape, keeps the lowered plan in a
+// content-keyed LRU cache, and replays it for every subsequent call —
+// cold-path compile once, hot-path replay many. Sessions are safe for
+// concurrent use: independent collectives run in parallel on a bounded
+// worker pool.
+
+import (
+	"repro/internal/plan"
+)
+
+// SessionConfig tunes a Session; the zero value is usable.
+type SessionConfig struct {
+	// Options parameterise the simulated fabric for every collective the
+	// session runs; the zero value models the WSE-2.
+	Options Options
+	// PlanCacheCapacity bounds the number of compiled plans kept resident
+	// (<= 0 selects the default of 128). Distinct shapes beyond the
+	// capacity evict the least recently used plan.
+	PlanCacheCapacity int
+	// Workers bounds the number of concurrently executing fabric
+	// simulations (<= 0 selects GOMAXPROCS).
+	Workers int
+}
+
+// PlanStats is the plan cache accounting: hits, misses, evictions and
+// resident plan count.
+type PlanStats = plan.CacheStats
+
+// Session executes collectives against cached compiled plans.
+type Session struct {
+	opt Options
+	s   *plan.Session
+}
+
+// NewSession creates a session. The zero SessionConfig models the WSE-2
+// with the default cache capacity and one worker per CPU.
+func NewSession(cfg SessionConfig) *Session {
+	return &Session{
+		opt: cfg.Options,
+		s:   plan.NewSession(cfg.PlanCacheCapacity, cfg.Workers),
+	}
+}
+
+// PlanStats snapshots the session's plan-cache accounting.
+func (s *Session) PlanStats() PlanStats { return s.s.Stats() }
+
+func (s *Session) run(req plan.Request, inputs [][]float32) (*Report, error) {
+	req.Opt = s.opt
+	return s.s.Run(req, inputs)
+}
+
+func dims(vectors [][]float32) (p, b int) {
+	p = len(vectors)
+	if p > 0 {
+		b = len(vectors[0])
+	}
+	return p, b
+}
+
+// Reduce is the session counterpart of wse.Reduce: identical semantics
+// and bit-identical results, but the compiled plan is cached and replayed.
+func (s *Session) Reduce(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.Reduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// AllReduce is the session counterpart of wse.AllReduce.
+func (s *Session) AllReduce(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.AllReduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// AllReduceMidRoot is the session counterpart of wse.AllReduceMidRoot.
+func (s *Session) AllReduceMidRoot(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.AllReduceMidRoot, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// Broadcast is the session counterpart of wse.Broadcast.
+func (s *Session) Broadcast(data []float32, p int) (*Report, error) {
+	return s.run(plan.Request{Kind: plan.Broadcast1D, P: p, B: len(data)}, [][]float32{data})
+}
+
+// Reduce2D is the session counterpart of wse.Reduce2D.
+func (s *Session) Reduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
+	_, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.Reduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+}
+
+// AllReduce2D is the session counterpart of wse.AllReduce2D.
+func (s *Session) AllReduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
+	_, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.AllReduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+}
+
+// Broadcast2D is the session counterpart of wse.Broadcast2D.
+func (s *Session) Broadcast2D(data []float32, width, height int) (*Report, error) {
+	return s.run(plan.Request{Kind: plan.Broadcast2D, Width: width, Height: height, B: len(data)}, [][]float32{data})
+}
+
+// Scatter is the session counterpart of wse.Scatter.
+func (s *Session) Scatter(data []float32, p int) (*Report, error) {
+	return s.run(plan.Request{Kind: plan.Scatter, P: p, B: len(data)}, [][]float32{data})
+}
+
+// Gather is the session counterpart of wse.Gather.
+func (s *Session) Gather(chunks [][]float32) (*Report, error) {
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	return s.run(plan.Request{Kind: plan.Gather, P: len(chunks), B: b}, chunks)
+}
+
+// ReduceScatter is the session counterpart of wse.ReduceScatter.
+func (s *Session) ReduceScatter(vectors [][]float32, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return s.run(plan.Request{Kind: plan.ReduceScatter, P: p, B: b, Op: op}, vectors)
+}
+
+// AllGather is the session counterpart of wse.AllGather.
+func (s *Session) AllGather(chunks [][]float32) (*Report, error) {
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	return s.run(plan.Request{Kind: plan.AllGather, P: len(chunks), B: b}, chunks)
+}

@@ -1,0 +1,157 @@
+package wse
+
+import (
+	"sync"
+	"testing"
+)
+
+func sessVectors(p, b int) [][]float32 {
+	out := make([][]float32, p)
+	for i := range out {
+		v := make([]float32, b)
+		for j := range v {
+			v[j] = float32(i+1) * float32(j%5+1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func sameFloats(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %v, want %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionMatchesOneShot replays every Session collective and compares
+// bit-for-bit with the one-shot API.
+func TestSessionMatchesOneShot(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	vecs := sessVectors(16, 12)
+	chunks := make([][]float32, 8)
+	{
+		off, sz := Chunks(8, 20)
+		full := sessVectors(1, 20)[0]
+		for j := range chunks {
+			chunks[j] = full[off[j] : off[j]+sz[j]]
+		}
+	}
+	grid := sessVectors(4*3, 6)
+	rsVecs := sessVectors(10, 16) // the ring needs B >= P for non-empty chunks
+
+	type run struct {
+		name    string
+		session func() (*Report, error)
+		oneShot func() (*Report, error)
+	}
+	runs := []run{
+		{"reduce", func() (*Report, error) { return s.Reduce(vecs, Auto, Sum) },
+			func() (*Report, error) { return Reduce(vecs, Auto, Sum, Options{}) }},
+		{"allreduce", func() (*Report, error) { return s.AllReduce(vecs, TwoPhase, Sum) },
+			func() (*Report, error) { return AllReduce(vecs, TwoPhase, Sum, Options{}) }},
+		{"allreduce-midroot", func() (*Report, error) { return s.AllReduceMidRoot(vecs, Auto, Sum) },
+			func() (*Report, error) { return AllReduceMidRoot(vecs, Auto, Sum, Options{}) }},
+		{"broadcast", func() (*Report, error) { return s.Broadcast(vecs[2], 16) },
+			func() (*Report, error) { return Broadcast(vecs[2], 16, Options{}) }},
+		{"reduce2d", func() (*Report, error) { return s.Reduce2D(grid, 4, 3, Auto2D, Sum) },
+			func() (*Report, error) { return Reduce2D(grid, 4, 3, Auto2D, Sum, Options{}) }},
+		{"allreduce2d", func() (*Report, error) { return s.AllReduce2D(grid, 4, 3, Snake, Sum) },
+			func() (*Report, error) { return AllReduce2D(grid, 4, 3, Snake, Sum, Options{}) }},
+		{"broadcast2d", func() (*Report, error) { return s.Broadcast2D(grid[0], 4, 3) },
+			func() (*Report, error) { return Broadcast2D(grid[0], 4, 3, Options{}) }},
+		{"scatter", func() (*Report, error) { return s.Scatter(vecs[0], 6) },
+			func() (*Report, error) { return Scatter(vecs[0], 6, Options{}) }},
+		{"gather", func() (*Report, error) { return s.Gather(chunks) },
+			func() (*Report, error) { return Gather(chunks, Options{}) }},
+		{"reducescatter", func() (*Report, error) { return s.ReduceScatter(rsVecs, Sum) },
+			func() (*Report, error) { return ReduceScatter(rsVecs, Sum, Options{}) }},
+		{"allgather", func() (*Report, error) { return s.AllGather(chunks) },
+			func() (*Report, error) { return AllGather(chunks, Options{}) }},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			want, err := r.oneShot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ { // second call replays the cached plan
+				got, err := r.session()
+				if err != nil {
+					t.Fatalf("replay %d: %v", rep, err)
+				}
+				sameFloats(t, "Root", got.Root, want.Root)
+				if got.Cycles != want.Cycles {
+					t.Fatalf("replay %d: Cycles = %d, one-shot %d", rep, got.Cycles, want.Cycles)
+				}
+				if got.Predicted != want.Predicted {
+					t.Fatalf("replay %d: Predicted = %g, one-shot %g", rep, got.Predicted, want.Predicted)
+				}
+			}
+		})
+	}
+	st := s.PlanStats()
+	if st.Misses != int64(len(runs)) {
+		t.Fatalf("%d misses, want one per collective kind (%d): %+v", st.Misses, len(runs), st)
+	}
+	if st.Hits != int64(len(runs)) {
+		t.Fatalf("%d hits, want one per replay (%d): %+v", st.Hits, len(runs), st)
+	}
+}
+
+// TestSessionConcurrent fans a mixed workload across goroutines; run with
+// -race in CI.
+func TestSessionConcurrent(t *testing.T) {
+	s := NewSession(SessionConfig{PlanCacheCapacity: 8, Workers: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := 4 + 4*(g%3)
+			vecs := make([][]float32, p)
+			for i := range vecs {
+				v := make([]float32, 16)
+				for j := range v {
+					v[j] = 1
+				}
+				vecs[i] = v
+			}
+			for r := 0; r < 4; r++ {
+				rep, err := s.AllReduce(vecs, Tree, Sum)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Root[0] != float32(p) {
+					t.Errorf("g%d: Root[0] = %v, want %d", g, rep.Root[0], p)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.PlanStats()
+	if st.Misses != 3 { // three distinct row lengths
+		t.Fatalf("%d misses, want 3: %+v", st.Misses, st)
+	}
+}
+
+// TestPredictBroadcastUsesParams guards the Options resolution path: a
+// negative TR means a literal zero-latency ramp, which must flow through
+// core.Params exactly like every other predictor.
+func TestPredictBroadcastUsesParams(t *testing.T) {
+	def := PredictBroadcast(64, 256, Options{})
+	zero := PredictBroadcast(64, 256, Options{TR: -1})
+	if def != PredictBroadcast(64, 256, Options{TR: 2}) {
+		t.Fatal("TR=0 should select the WSE-2 default of 2")
+	}
+	if zero >= def {
+		t.Fatalf("TR<0 (zero-latency ramp) predicts %g, want < default %g", zero, def)
+	}
+}

@@ -24,6 +24,14 @@
 // AutoGen from the paper's §5, or Auto to let the performance model pick —
 // the model-driven deployment the paper advocates. 2D grids use the X-Y
 // and Snake mappings of §7.
+//
+// For repeated collectives, use a Session: it compiles each distinct
+// collective shape once into a cached plan and replays the plan on every
+// subsequent call, with concurrent collectives bounded by a worker pool.
+//
+//	s := wse.NewSession(wse.SessionConfig{})
+//	rep, err := s.AllReduce(vectors, wse.Auto, wse.Sum) // compiles, caches
+//	rep, err = s.AllReduce(vectors, wse.Auto, wse.Sum)  // replays the plan
 package wse
 
 import (
@@ -149,7 +157,7 @@ func PredictAllReduce(alg Algorithm, p, b int, opt Options) float64 {
 
 // PredictBroadcast returns Lemma 4.1's estimate B + P + 2·T_R.
 func PredictBroadcast(p, b int, opt Options) float64 {
-	return core.Params(Options{TR: opt.TR}).Broadcast1D(p, b)
+	return core.Params(opt).Broadcast1D(p, b)
 }
 
 // PredictReduce2D and PredictAllReduce2D estimate the 2D mappings of §7.
