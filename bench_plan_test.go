@@ -9,6 +9,7 @@ package wse
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -108,6 +109,136 @@ func BenchmarkPlanColdVsReplay(b *testing.B) {
 		if err := os.WriteFile("BENCH_plan.json", append(buf, '\n'), 0o644); err != nil {
 			b.Logf("BENCH_plan.json not written: %v", err)
 		}
+	}
+}
+
+// replayMode is one execution strategy of the replay-path benchmark.
+type replayMode struct {
+	name   string
+	shards int
+	run    func(p *plan.Plan, inputs [][]float32) error
+}
+
+func replayModes() []replayMode {
+	// At least 4 bands so single-core hosts still exercise the sharded
+	// code path (showing its overhead parity; wall-clock wins need cores).
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 4 {
+		shards = 4
+	}
+	if shards > 8 {
+		shards = 8
+	}
+	return []replayMode{
+		{"serial-fresh", 0, func(p *plan.Plan, in [][]float32) error { _, err := p.ExecuteUnpooled(in); return err }},
+		{"serial-pooled", 0, func(p *plan.Plan, in [][]float32) error { _, err := p.Execute(in); return err }},
+		{"sharded-pooled", shards, func(p *plan.Plan, in [][]float32) error { _, err := p.Execute(in); return err }},
+	}
+}
+
+// BenchmarkFabricReplayModes measures what one cache-hit replay costs
+// under the three engine execution modes — fresh fabric per run (PR 1's
+// replay path), pooled reset-able fabric, and pooled + sharded — on the
+// tracked 1D shape and a 2D shape. It writes the ns/op and allocs/op of
+// every (shape, mode) pair to BENCH_fabric.json so the replay-path
+// trajectory is comparable across PRs. Sharding is expected to lose on
+// the 1D shape (its per-cycle wavefront is a handful of PEs, below the
+// barrier cost) and pay on wide 2D wavefronts.
+func BenchmarkFabricReplayModes(b *testing.B) {
+	shapes := []struct {
+		name string
+		req  plan.Request
+	}{
+		{"reduce1d-p512-b16", planBenchReq()},
+		{"reduce2d-64x64-b64", plan.Request{
+			Kind: plan.Reduce2D, Alg2D: core.Auto2D,
+			Width: 64, Height: 64, B: 64, Op: fabric.OpSum,
+		}},
+	}
+	point := map[string]any{"bench": "fabric-replay-modes"}
+	for _, shape := range shapes {
+		for _, mode := range replayModes() {
+			req := shape.req
+			req.Opt.Shards = mode.shards
+			pl, err := plan.Compile(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inputs := replayInputs(req)
+			if err := mode.run(pl, inputs); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			b.Run(shape.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := mode.run(pl, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				point[shape.name+"/"+mode.name+"/ns_per_op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				point[shape.name+"/"+mode.name+"/allocs_per_op"] = float64(after.Mallocs-before.Mallocs) / float64(b.N)
+			})
+		}
+	}
+	buf, err := json.MarshalIndent(point, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fabric.json", append(buf, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_fabric.json not written: %v", err)
+	}
+}
+
+// replayInputs builds all-ones inputs of the right arity for a request.
+func replayInputs(req plan.Request) [][]float32 {
+	n := req.P
+	if req.Kind == plan.Reduce2D || req.Kind == plan.AllReduce2D {
+		n = req.Width * req.Height
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = make([]float32, req.B)
+		for j := range out[i] {
+			out[i][j] = 1
+		}
+	}
+	return out
+}
+
+// TestPooledReplayAllocGuard is the allocs/op regression guard run by CI:
+// a cache-hit pooled replay must not construct a fabric (fabric.New for
+// the benchmark shape costs thousands of allocations; a pooled replay
+// pays only input binding and result assembly). The guard is relative so
+// it tracks the shape rather than a brittle absolute count.
+func TestPooledReplayAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomises sync.Pool and inflates alloc counts")
+	}
+	pl, err := plan.Compile(planBenchReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := replayInputs(planBenchReq())
+	if _, err := pl.Execute(inputs); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	fresh := testing.AllocsPerRun(20, func() {
+		if _, err := pl.ExecuteUnpooled(inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	pooled := testing.AllocsPerRun(20, func() {
+		if _, err := pl.Execute(inputs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if pooled > fresh/4 {
+		t.Fatalf("pooled replay allocates %.0f allocs/op vs %.0f fresh — the pool is not eliding fabric construction", pooled, fresh)
 	}
 }
 

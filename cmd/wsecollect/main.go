@@ -12,6 +12,7 @@
 //	wsecollect -collective reduce2d -alg2d snake -grid 32x32 -bytes 256
 //	wsecollect -collective broadcast -p 512 -bytes 16384
 //	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -repeat 64 -workers 8
+//	wsecollect -collective reduce2d -grid 512x512 -bytes 16 -shards 8 -cpuprofile cpu.out
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,7 +29,11 @@ import (
 	wse "repro"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back to main so deferred cleanup (CPU
+// profile flush) runs before the process exits.
+func realMain() int {
 	collective := flag.String("collective", "reduce", "reduce, allreduce, broadcast, reduce2d, allreduce2d, broadcast2d")
 	alg := flag.String("alg", "auto", "1D algorithm: star, chain, tree, twophase, autogen, auto")
 	alg2d := flag.String("alg2d", "auto", "2D algorithm: xy-star, xy-chain, xy-tree, xy-twophase, xy-autogen, snake, auto")
@@ -41,15 +47,33 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed for skew/thermal")
 	repeat := flag.Int("repeat", 1, "run the collective this many times through the plan cache")
 	workers := flag.Int("workers", 0, "concurrent replays (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "row-band shards per fabric simulation (0/1 = serial engine; results are bit-identical)")
+	maxCycles := flag.Int64("maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28; raise for very large serialized runs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
 	flag.Parse()
 
-	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed, *repeat, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "wsecollect:", err)
-		os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsecollect:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wsecollect:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
+
+	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed, *repeat, *workers, *shards, *maxCycles); err != nil {
+		fmt.Fprintln(os.Stderr, "wsecollect:", err)
+		return 1
+	}
+	return 0
 }
 
-func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64, repeat, workers int) error {
+func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64, repeat, workers, shards int, maxCycles int64) error {
 	b := bytes / 4
 	if b < 1 {
 		return fmt.Errorf("vector must be at least 4 bytes")
@@ -68,7 +92,7 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 	default:
 		return fmt.Errorf("unknown op %q", opName)
 	}
-	opt := wse.Options{TR: tr, ThermalNoopRate: thermal, ClockSkewMax: skew, Seed: seed}
+	opt := wse.Options{TR: tr, ThermalNoopRate: thermal, ClockSkewMax: skew, Seed: seed, Shards: shards, MaxCycles: maxCycles}
 	sess := wse.NewSession(wse.SessionConfig{Options: opt, Workers: workers})
 
 	var w, h int

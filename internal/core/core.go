@@ -262,6 +262,13 @@ func runSpec(spec *fabric.Spec, opt fabric.Options) (*fabric.Result, error) {
 	return f.Run()
 }
 
+// ReportOf wraps a raw fabric result in a Report carrying the given model
+// prediction. The plan subsystem's pooled replay path runs the fabric
+// itself (to reuse instances across runs) and reports through here.
+func ReportOf(res *fabric.Result, predicted float64) *Report {
+	return report(res, predicted)
+}
+
 func report(res *fabric.Result, predicted float64) *Report {
 	return &Report{
 		Cycles:    res.Cycles,

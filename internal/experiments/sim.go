@@ -39,6 +39,21 @@ type Config struct {
 	// simulation work is its energy Θ(B·P²), which dominates everything
 	// else in the sweep. Predictions still cover all B.
 	StarBCap int
+	// Shards, when > 1, runs every measured fabric simulation on the
+	// sharded engine with that many row bands. Results are bit-identical
+	// to serial runs (the engine guarantees it); sharding exists to make
+	// wide 2D grids — up to the paper's 512×512 — wall-clock feasible.
+	Shards int
+}
+
+// opt returns the fabric options of a measured run with the sharding
+// knob applied.
+func (cfg Config) opt() fabric.Options {
+	o := cfg.Opt
+	if cfg.Shards > 1 {
+		o.Shards = cfg.Shards
+	}
+	return o
 }
 
 // Quick returns the configuration used by tests and the default bench
@@ -97,7 +112,7 @@ var planSess = plan.NewSession(512, 0)
 // into a fresh spec for the measurement instrumenter to rewrite;
 // uncalibrated runs replay the plan directly.
 func (cfg Config) runPlanned(req plan.Request) (float64, error) {
-	req.Opt = cfg.Opt
+	req.Opt = cfg.opt()
 	pl, err := planSess.Plan(req)
 	if err != nil {
 		return math.NaN(), err
@@ -114,7 +129,7 @@ func (cfg Config) runPlanned(req plan.Request) (float64, error) {
 				return nil
 			},
 		}
-		res, err := measure.Measure(col, cfg.Opt, measure.Config{})
+		res, err := measure.Measure(col, cfg.opt(), measure.Config{})
 		if err != nil {
 			return math.NaN(), err
 		}

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -41,6 +42,15 @@ type Options struct {
 	// Seed drives the deterministic RNG used for clock skew and thermal
 	// no-ops.
 	Seed uint64
+	// Shards, when > 1, partitions the PEs into that many contiguous
+	// row-major bands, each stepped by its own goroutine under a cycle
+	// barrier. The engine's intra-cycle semantics are order-independent
+	// (queue pushes and pops cross cycle boundaries before becoming
+	// visible to the other endpoint), so sharded runs produce bit-identical
+	// results to serial runs; sharding only changes wall-clock time.
+	// 0 or 1 selects the serial engine. Shards is ignored (forced serial)
+	// when a Tracer is attached.
+	Shards int
 	// Tracer, when non-nil, records fabric events (wavelet movement,
 	// config advancement, op completion) for debugging.
 	Tracer *Tracer
@@ -67,16 +77,21 @@ func (o Options) withDefaults() Options {
 
 // colorState is a router's runtime state for one color: the configuration
 // list with the active index and remaining absorb count, and the input
-// queue per arrival direction.
+// queue per arrival direction. Color states live in one flat slice grouped
+// by router and sorted by color. Scheduling is per router: an active router
+// steps its flagged color states in ascending color order, so when two
+// colors of one router contend for a wire in the same cycle, the lower
+// color wins — in every execution mode, whatever order routers are visited
+// in (cross-router interactions all defer to the next cycle).
 type colorState struct {
-	configs []RouterConfig
-	idx     int
-	times   int
-	queues  [mesh.NumDirections]waveQueue
-	queued  int
-	color   mesh.Color
-	router  int32
-	inList  bool
+	configs     []RouterConfig
+	idx         int
+	times       int
+	queues      [mesh.NumDirections]waveQueue
+	color       mesh.Color
+	router      int32
+	active      bool // flagged to step next cycle
+	wakePending bool
 }
 
 func (cs *colorState) advance() {
@@ -90,43 +105,49 @@ func (cs *colorState) advance() {
 	}
 }
 
+// anyVisible reports whether any queue of the color state holds a
+// consumer-visible wavelet (on any side, accepted or not).
+func (cs *colorState) anyVisible() bool {
+	for d := range cs.queues {
+		if cs.queues[d].visLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 type router struct {
-	colors  [mesh.NumColors]*colorState
+	csBase  int32                     // first colorState of this router in Fabric.colorStates
+	nCS     int32                     // number of color states
+	inList  bool                      // scheduled in a shard's active router list
+	csOff   [mesh.NumColors]int16     // per-color offset+1 into the router's group (0 = color unused)
 	outUsed [mesh.NumDirections]int64 // cycle+1 stamp of the last wire use
 }
 
 // proc is a processor's runtime state.
 type proc struct {
-	ops        []Op
-	opIdx      int
-	elem       int
-	ctlPhase   bool // data elements sent/consumed; control phase pending
-	rElem      int  // inbound progress of full-duplex ops
-	rDone      bool
-	sDone      bool
-	actLeft    int  // remaining task-activation stall cycles
-	actDone    bool // activation already paid for the current op
-	acc        []float32
-	inbox      [mesh.NumColors]*waveQueue
-	inboxTotal int
-	latchVal   float32
-	latchCtl   bool
-	latchFull  bool
-	clock      []int64
-	skew       int64
-	rng        uint64
-	received   int64
-	done       bool
-	inList     bool
-}
-
-func (p *proc) inboxFor(c mesh.Color) *waveQueue {
-	q := p.inbox[c]
-	if q == nil {
-		q = &waveQueue{}
-		p.inbox[c] = q
-	}
-	return q
+	ops         []Op
+	opIdx       int
+	elem        int
+	ctlPhase    bool // data elements sent/consumed; control phase pending
+	rElem       int  // inbound progress of full-duplex ops
+	rDone       bool
+	sDone       bool
+	actLeft     int  // remaining task-activation stall cycles
+	actDone     bool // activation already paid for the current op
+	acc         []float32
+	inbox       [mesh.NumColors]int32 // index+1 into Fabric.inboxes (0 = no deliveries on color)
+	inboxTotal  int
+	latchVal    float32
+	latchCtl    bool
+	latchFull   bool
+	clock       []int64
+	skew        int64
+	rng         uint64
+	received    int64
+	done        bool
+	inList      bool
+	wakePending bool
 }
 
 // Stats aggregates fabric-level counters that correspond directly to the
@@ -142,7 +163,9 @@ type Stats struct {
 	Noops       int64
 }
 
-// Result reports a completed run.
+// Result reports a completed run. The result owns its data: Acc and Clocks
+// are deep copies of the fabric's final state, so a Result stays valid
+// after the fabric is Reset and re-run (the pooled replay path).
 type Result struct {
 	// Cycles is the total cycle count until every processor finished and
 	// the network drained.
@@ -160,24 +183,92 @@ type Result struct {
 // blocked and are woken by exactly the fabric events (queue pushes and
 // pops) that can unblock them, so simulation work is proportional to
 // wavelet movement (the paper's energy metric) rather than PEs×cycles.
+//
+// All runtime state lives in flat preallocated arrays (routers, procs,
+// color states, inbox queues), which buys three things: the per-cycle hot
+// loop performs no allocation, Reset can re-arm an instance for a fresh
+// run without reallocating anything, and the state partitions cleanly into
+// contiguous row-major bands for the sharded engine (Options.Shards).
+//
+// Intra-cycle semantics are order-independent: a queue push becomes
+// visible to its consumer, and a pop frees space for its producer, only at
+// the next cycle boundary. Within one router, color states are stepped in
+// ascending color order. Together these make the simulation a function of
+// the program alone — stepping units in any order, on any number of
+// shards, yields bit-identical results.
 type Fabric struct {
-	opt     Options
-	width   int
-	height  int
-	coords  []mesh.Coord
-	index   map[mesh.Coord]int
-	routers []router
-	procs   []proc
-	cycle   int64
-	stats   Stats
+	opt         Options
+	width       int
+	height      int
+	coords      []mesh.Coord
+	grid        []int32                     // dense width*height coord → unit index (-1 = unprogrammed)
+	nbrs        [][mesh.NumDirections]int32 // precomputed per-unit neighbour units (-1 = none)
+	routers     []router
+	procs       []proc
+	colorStates []colorState
+	inboxes     []waveQueue
+	cycle       int64
 
-	curCS  []*colorState
-	nextCS []*colorState
-	curP   []int32
-	nextP  []int32
+	// lastSpec/peRefs cache the spec the fabric was last armed from: a
+	// Reset with the very same *Spec (the pooled replay path rebinds Init
+	// in place and reuses one spec object) skips structural re-validation
+	// and all per-PE map lookups.
+	lastSpec *Spec
+	peRefs   []*PESpec
 
-	pendingProcs int
-	queuedTotal  int
+	shards    []shardState
+	unitShard []uint16
+
+	workersUp bool
+	cmd       []chan phaseToken
+	done      chan int
+}
+
+type phaseToken uint8
+
+const (
+	phaseStep phaseToken = iota
+	phaseSync
+	phaseQuit
+)
+
+// shardDispatchThreshold is the total active-unit count below which a
+// sharded fabric steps the cycle on the coordinating goroutine instead of
+// paying two barrier crossings; results are identical either way. It is a
+// variable so tests can force the parallel path for small fabrics.
+var shardDispatchThreshold = 192
+
+// shardState is one band's execution state: its active lists, deferred
+// wake buffers, queue-sync lists and counters. With Shards <= 1 a fabric
+// has exactly one shard and the same code runs without barriers.
+//
+// Active lists hold routers, not color states: routers may be visited in
+// any order (their cross-router effects all defer to the next cycle), so
+// the lists never need sorting; each visited router steps its flagged
+// color states in ascending color order, which is the only ordering the
+// semantics require.
+type shardState struct {
+	f  *Fabric
+	id int
+
+	curR, nextR []int32 // active router units
+	curP, nextP []int32 // active processor units
+
+	// Queues this shard pushed/popped this cycle; their seen cursors are
+	// published at the cycle barrier.
+	pushedQ, poppedQ []*waveQueue
+
+	// Deferred wakes. Wakes targeting this shard's own units collect in
+	// localCS/localP (deduplicated by the target's wakePending flag);
+	// wakes crossing shards collect in outCS/outP bucketed by destination
+	// and are applied at the cycle barrier by the destination.
+	localCS, localP []int32
+	outCS, outP     [][]int32
+
+	qPushes, qPops int64 // lifetime router-queue traffic (drain detection)
+	pending        int   // unfinished procs owned by this shard
+	stats          Stats
+	err            error
 }
 
 // New instantiates a fabric for the given program. The spec is validated
@@ -203,62 +294,249 @@ func New(s *Spec, opt Options) (*Fabric, error) {
 		width:   s.Width,
 		height:  s.Height,
 		coords:  coords,
-		index:   make(map[mesh.Coord]int, len(coords)),
+		grid:    make([]int32, s.Width*s.Height),
 		routers: make([]router, len(coords)),
 		procs:   make([]proc, len(coords)),
 	}
-	for i, c := range coords {
-		f.index[c] = i
+	for i := range f.grid {
+		f.grid[i] = -1
 	}
-	rng := opt.Seed | 1
+	for i, c := range coords {
+		f.grid[c.Y*f.width+c.X] = int32(i)
+	}
+	f.nbrs = make([][mesh.NumDirections]int32, len(coords))
+	for i, c := range coords {
+		for d := mesh.Direction(0); d < mesh.NumDirections; d++ {
+			f.nbrs[i][d] = -1
+			if d == mesh.Ramp {
+				continue
+			}
+			if n := c.Add(d); n.X >= 0 && n.X < f.width && n.Y >= 0 && n.Y < f.height {
+				f.nbrs[i][d] = f.grid[n.Y*f.width+n.X]
+			}
+		}
+	}
+
+	// Lay out the color states flat, grouped by router, colors ascending,
+	// and pre-create an inbox queue for every (PE, color) with a ramp
+	// delivery anywhere in its config list.
+	totalCS := 0
+	for _, c := range coords {
+		totalCS += len(s.PEs[c].Configs)
+	}
+	f.colorStates = make([]colorState, 0, totalCS)
+	var colors []mesh.Color
 	for i, c := range coords {
 		pe := s.PEs[c]
 		r := &f.routers[i]
-		for color, cfgs := range pe.Configs {
-			r.colors[color] = &colorState{
+		r.csBase = int32(len(f.colorStates))
+		colors = colors[:0]
+		for color := range pe.Configs {
+			colors = append(colors, color)
+		}
+		sort.Slice(colors, func(a, b int) bool { return colors[a] < colors[b] })
+		for _, color := range colors {
+			cfgs := pe.Configs[color]
+			r.csOff[color] = int16(len(f.colorStates)-int(r.csBase)) + 1
+			f.colorStates = append(f.colorStates, colorState{
 				configs: cfgs,
 				times:   cfgs[0].Times,
 				color:   color,
 				router:  int32(i),
-			}
-		}
-		p := &f.procs[i]
-		p.ops = pe.Ops
-		p.acc = append([]float32(nil), pe.Init...)
-		// Ops address acc[Off..Off+N); make sure the buffer exists even
-		// when the PE contributed no input of its own.
-		for _, op := range pe.Ops {
-			need := 0
-			switch op.Kind {
-			case OpSend, OpRecvReduce, OpRecvReduceSend, OpRecvStore:
-				need = op.Off + op.N
-			case OpSendRecvReduce, OpSendRecvStore:
-				need = op.Off + op.N
-				if n2 := op.Off2 + op.N2; n2 > need {
-					need = n2
+			})
+			rampDelivery := false
+			for _, cfg := range cfgs {
+				if cfg.Forward.Has(mesh.Ramp) {
+					rampDelivery = true
+					break
 				}
 			}
-			if need > len(p.acc) {
-				p.acc = append(p.acc, make([]float32, need-len(p.acc))...)
+			if rampDelivery && f.procs[i].inbox[color] == 0 {
+				f.inboxes = append(f.inboxes, waveQueue{})
+				f.procs[i].inbox[color] = int32(len(f.inboxes))
 			}
 		}
-		p.clock = make([]int64, pe.ClockSlots)
+		r.nCS = int32(len(f.colorStates)) - r.csBase
+	}
+
+	f.initShards()
+	f.arm(s)
+	return f, nil
+}
+
+// initShards partitions the units into contiguous row-major bands.
+func (f *Fabric) initShards() {
+	n := f.opt.Shards
+	if n < 1 || f.opt.Tracer != nil {
+		n = 1
+	}
+	if n > len(f.procs) {
+		n = len(f.procs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	f.shards = make([]shardState, n)
+	f.unitShard = make([]uint16, len(f.procs))
+	for i := range f.unitShard {
+		f.unitShard[i] = uint16(i * n / len(f.procs))
+	}
+	for si := range f.shards {
+		sh := &f.shards[si]
+		sh.f = f
+		sh.id = si
+		sh.outCS = make([][]int32, n)
+		sh.outP = make([][]int32, n)
+	}
+}
+
+// arm stamps the per-run state of a validated, structurally matching spec
+// into the preallocated fabric: accumulators from Init, router configs at
+// their first entry, empty queues, the deterministic RNG chain, and the
+// initial processor wake list. It is the shared tail of New and Reset.
+func (f *Fabric) arm(s *Spec) {
+	f.cycle = 0
+	for i := range f.inboxes {
+		f.inboxes[i].reset()
+	}
+	for si := range f.shards {
+		sh := &f.shards[si]
+		sh.curR = sh.curR[:0]
+		sh.nextR = sh.nextR[:0]
+		sh.curP = sh.curP[:0]
+		sh.nextP = sh.nextP[:0]
+		sh.pushedQ = sh.pushedQ[:0]
+		sh.poppedQ = sh.poppedQ[:0]
+		sh.localCS = sh.localCS[:0]
+		sh.localP = sh.localP[:0]
+		for d := range sh.outCS {
+			sh.outCS[d] = sh.outCS[d][:0]
+			sh.outP[d] = sh.outP[d][:0]
+		}
+		sh.qPushes, sh.qPops = 0, 0
+		sh.pending = 0
+		sh.stats = Stats{}
+		sh.err = nil
+	}
+
+	sameSpec := s == f.lastSpec
+	if !sameSpec {
+		if f.peRefs == nil {
+			f.peRefs = make([]*PESpec, len(f.coords))
+		}
+		for i, c := range f.coords {
+			f.peRefs[i] = s.PEs[c]
+		}
+		f.lastSpec = s
+	}
+	rng := f.opt.Seed | 1
+	for i := range f.coords {
+		pe := f.peRefs[i]
+		r := &f.routers[i]
+		r.outUsed = [mesh.NumDirections]int64{}
+		r.inList = false
+		for k := r.csBase; k < r.csBase+r.nCS; k++ {
+			cs := &f.colorStates[k]
+			if !sameSpec {
+				cs.configs = pe.Configs[cs.color]
+			}
+			cs.idx = 0
+			cs.times = cs.configs[0].Times
+			cs.active = false
+			cs.wakePending = false
+			for d := range cs.queues {
+				cs.queues[d].reset()
+			}
+		}
+
+		p := &f.procs[i]
+		p.ops = pe.Ops
+		p.acc = append(p.acc[:0], pe.Init...)
+		// Ops address acc[Off..Off+N); make sure the buffer exists even
+		// when the PE contributed no input of its own.
+		need := len(p.acc)
+		for _, op := range pe.Ops {
+			n := 0
+			switch op.Kind {
+			case OpSend, OpRecvReduce, OpRecvReduceSend, OpRecvStore:
+				n = op.Off + op.N
+			case OpSendRecvReduce, OpSendRecvStore:
+				n = op.Off + op.N
+				if n2 := op.Off2 + op.N2; n2 > n {
+					n = n2
+				}
+			}
+			if n > need {
+				need = n
+			}
+		}
+		for len(p.acc) < need {
+			p.acc = append(p.acc, 0)
+		}
+		if len(p.clock) == pe.ClockSlots {
+			for j := range p.clock {
+				p.clock[j] = 0
+			}
+		} else {
+			p.clock = make([]int64, pe.ClockSlots)
+		}
 		rng = splitmix(rng)
 		p.rng = rng
-		if opt.ClockSkewMax > 0 {
+		p.skew = 0
+		if f.opt.ClockSkewMax > 0 {
 			rng = splitmix(rng)
-			p.skew = int64(rng % uint64(opt.ClockSkewMax))
+			p.skew = int64(rng % uint64(f.opt.ClockSkewMax))
 		}
-		if len(p.ops) == 0 {
-			p.done = true
-		} else {
-			f.pendingProcs++
-			f.wakeProc(int32(i))
+		p.opIdx, p.elem, p.rElem = 0, 0, 0
+		p.ctlPhase, p.rDone, p.sDone = false, false, false
+		p.actLeft, p.actDone = 0, false
+		p.inboxTotal = 0
+		p.latchVal, p.latchCtl, p.latchFull = 0, false, false
+		p.received = 0
+		p.inList = false
+		p.wakePending = false
+		p.done = len(p.ops) == 0
+		if !p.done {
+			sh := &f.shards[f.unitShard[i]]
+			sh.pending++
+			p.inList = true
+			sh.curP = append(sh.curP, int32(i))
 		}
 	}
-	f.curP, f.nextP = f.nextP, f.curP
-	f.curCS, f.nextCS = f.nextCS, f.curCS
-	return f, nil
+}
+
+// Reset re-arms the fabric for a fresh run of a spec with the same
+// structure (same PE set, op-list lengths and routing-table shapes) as the
+// one it was built from — typically a per-replay binding of the same
+// compiled plan with new Init vectors. Nothing is reallocated: queue
+// buffers, accumulators, active lists and routing state are all reused,
+// and the deterministic RNG chain (clock skew, thermal no-ops) is restored
+// exactly, so a Reset fabric reproduces a fresh New bit for bit.
+func (f *Fabric) Reset(s *Spec) error {
+	if s != f.lastSpec { // a re-armed identical spec object needs no re-checking
+		if s.Width != f.width || s.Height != f.height {
+			return fmt.Errorf("fabric: reset with %dx%d spec, fabric is %dx%d", s.Width, s.Height, f.width, f.height)
+		}
+		if len(s.PEs) != len(f.coords) {
+			return fmt.Errorf("fabric: reset with %d PEs, fabric has %d", len(s.PEs), len(f.coords))
+		}
+		for i, c := range f.coords {
+			pe := s.PEs[c]
+			if pe == nil {
+				return fmt.Errorf("fabric: reset spec lacks PE %v", c)
+			}
+			if len(pe.Configs) != int(f.routers[i].nCS) {
+				return fmt.Errorf("fabric: reset PE %v has %d colors, fabric has %d", c, len(pe.Configs), f.routers[i].nCS)
+			}
+			for k := f.routers[i].csBase; k < f.routers[i].csBase+f.routers[i].nCS; k++ {
+				if pe.Configs[f.colorStates[k].color] == nil {
+					return fmt.Errorf("fabric: reset PE %v lacks color %d", c, f.colorStates[k].color)
+				}
+			}
+		}
+	}
+	f.arm(s)
+	return nil
 }
 
 func splitmix(x uint64) uint64 {
@@ -269,31 +547,169 @@ func splitmix(x uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-func (f *Fabric) neighbor(i int, d mesh.Direction) int {
-	n, ok := f.index[f.coords[i].Add(d)]
-	if !ok {
+func (f *Fabric) neighbor(i int32, d mesh.Direction) int32 { return f.nbrs[i][d] }
+
+// csIndex returns the flat color-state index of (unit, color), or -1.
+func (f *Fabric) csIndex(unit int32, c mesh.Color) int32 {
+	r := &f.routers[unit]
+	off := r.csOff[c]
+	if off == 0 {
 		return -1
 	}
-	return n
+	return r.csBase + int32(off) - 1
 }
 
-// wakeCS schedules a router color state for the next cycle.
-func (f *Fabric) wakeCS(cs *colorState) {
-	if cs == nil || cs.inList {
-		return
+// inboxQ returns unit i's inbox queue for a color, or nil.
+func (f *Fabric) inboxQ(i int32, c mesh.Color) *waveQueue {
+	idx := f.procs[i].inbox[c]
+	if idx == 0 {
+		return nil
 	}
-	cs.inList = true
-	f.nextCS = append(f.nextCS, cs)
+	return &f.inboxes[idx-1]
 }
 
-// wakeProc schedules a processor for the next cycle.
-func (f *Fabric) wakeProc(i int32) {
-	p := &f.procs[i]
-	if p.inList || p.done {
+// wakeCS defers a wake of a color state to the next cycle. Wakes cross the
+// cycle barrier even within one shard so that serial and sharded execution
+// see identical schedules; own-shard wakes are deduplicated at emit time
+// through the target's wakePending flag (safe: only the owner touches it).
+func (sh *shardState) wakeCS(csI int32) {
+	if csI < 0 {
 		return
 	}
-	p.inList = true
-	f.nextP = append(f.nextP, i)
+	cs := &sh.f.colorStates[csI]
+	dest := int(sh.f.unitShard[cs.router])
+	if dest == sh.id {
+		if !cs.wakePending {
+			cs.wakePending = true
+			sh.localCS = append(sh.localCS, csI)
+		}
+		return
+	}
+	sh.outCS[dest] = append(sh.outCS[dest], csI)
+}
+
+// wakeProc defers a wake of a processor to the next cycle.
+func (sh *shardState) wakeProc(i int32) {
+	p := &sh.f.procs[i]
+	dest := int(sh.f.unitShard[i])
+	if dest == sh.id {
+		if !p.wakePending {
+			p.wakePending = true
+			sh.localP = append(sh.localP, i)
+		}
+		return
+	}
+	sh.outP[dest] = append(sh.outP[dest], i)
+}
+
+// scheduleCS flags a color state to step next cycle and schedules its
+// router. Called only by the owner shard (during sync for wakes, during
+// step for stays).
+func (sh *shardState) scheduleCS(csI int32) {
+	f := sh.f
+	cs := &f.colorStates[csI]
+	cs.active = true
+	r := &f.routers[cs.router]
+	if !r.inList {
+		r.inList = true
+		sh.nextR = append(sh.nextR, cs.router)
+	}
+}
+
+func (sh *shardState) stayProc(i int32) {
+	p := &sh.f.procs[i]
+	if !p.inList && !p.done {
+		p.inList = true
+		sh.nextP = append(sh.nextP, i)
+	}
+}
+
+// phaseStep processes this shard's active units for one cycle. Each active
+// router steps its flagged color states in ascending color order; routers
+// themselves may be visited in any order. Routers run before processors
+// (matching the serial loop's router-then-processor order within a cycle,
+// observable through the undelivered-inbox protocol check).
+func (sh *shardState) phaseStep() {
+	f := sh.f
+	for _, ri := range sh.curR {
+		r := &f.routers[ri]
+		r.inList = false
+		stay := false
+		for k := r.csBase; k < r.csBase+r.nCS; k++ {
+			cs := &f.colorStates[k]
+			if !cs.active {
+				continue
+			}
+			cs.active = false
+			if sh.stepColor(k) {
+				cs.active = true
+				stay = true
+			}
+		}
+		if stay && !r.inList {
+			r.inList = true
+			sh.nextR = append(sh.nextR, ri)
+		}
+	}
+	for _, pi := range sh.curP {
+		p := &f.procs[pi]
+		p.inList = false
+		stay, err := sh.stepProc(pi)
+		if err != nil {
+			sh.err = err
+			return
+		}
+		if stay {
+			sh.stayProc(pi)
+		}
+	}
+}
+
+// phaseSync runs at the cycle barrier: it publishes this shard's queue
+// operations, applies wakes addressed to it (from every shard, itself
+// included), and swaps in the next cycle's active lists.
+func (sh *shardState) phaseSync() {
+	for _, q := range sh.pushedQ {
+		q.syncProducer()
+	}
+	for _, q := range sh.poppedQ {
+		q.syncConsumer()
+	}
+	sh.pushedQ = sh.pushedQ[:0]
+	sh.poppedQ = sh.poppedQ[:0]
+
+	f := sh.f
+	for _, csI := range sh.localCS {
+		f.colorStates[csI].wakePending = false
+		sh.scheduleCS(csI)
+	}
+	sh.localCS = sh.localCS[:0]
+	for _, pi := range sh.localP {
+		f.procs[pi].wakePending = false
+		sh.stayProc(pi)
+	}
+	sh.localP = sh.localP[:0]
+	if len(f.shards) > 1 {
+		for si := range f.shards {
+			src := &f.shards[si]
+			if si == sh.id {
+				continue
+			}
+			for _, csI := range src.outCS[sh.id] {
+				sh.scheduleCS(csI)
+			}
+			src.outCS[sh.id] = src.outCS[sh.id][:0]
+			for _, pi := range src.outP[sh.id] {
+				sh.stayProc(pi)
+			}
+			src.outP[sh.id] = src.outP[sh.id][:0]
+		}
+	}
+
+	sh.curR = sh.curR[:0]
+	sh.curR, sh.nextR = sh.nextR, sh.curR
+	sh.curP = sh.curP[:0]
+	sh.curP, sh.nextP = sh.nextP, sh.curP
 }
 
 // Run executes the program to completion and returns the result. It fails
@@ -301,55 +717,131 @@ func (f *Fabric) wakeProc(i int32) {
 // remains), protocol violations (control wavelets out of place), or cycle
 // overrun.
 func (f *Fabric) Run() (*Result, error) {
+	defer f.stopWorkers()
 	for {
-		if f.pendingProcs == 0 && f.queuedTotal == 0 {
+		pending, inflight, active := 0, int64(0), 0
+		for si := range f.shards {
+			sh := &f.shards[si]
+			if sh.err != nil {
+				return nil, sh.err
+			}
+			pending += sh.pending
+			inflight += sh.qPushes - sh.qPops
+			active += len(sh.curR) + len(sh.curP)
+		}
+		if pending == 0 && inflight == 0 {
 			break
 		}
-		if len(f.curCS) == 0 && len(f.curP) == 0 {
+		if active == 0 {
 			return nil, fmt.Errorf("fabric: deadlock at cycle %d; %s", f.cycle, f.describeStall())
 		}
 		if f.cycle >= f.opt.MaxCycles {
 			return nil, fmt.Errorf("fabric: exceeded %d cycles; %s", f.opt.MaxCycles, f.describeStall())
 		}
-		for _, cs := range f.curCS {
-			cs.inList = false
-			if f.stepColor(cs) {
-				f.wakeCS(cs)
+		if len(f.shards) > 1 && active >= shardDispatchThreshold {
+			f.dispatch(phaseStep)
+			f.dispatch(phaseSync)
+		} else {
+			for si := range f.shards {
+				f.shards[si].phaseStep()
+			}
+			for si := range f.shards {
+				f.shards[si].phaseSync()
 			}
 		}
-		for _, pi := range f.curP {
-			p := &f.procs[pi]
-			p.inList = false
-			stay, err := f.stepProc(pi)
-			if err != nil {
-				return nil, err
-			}
-			if stay {
-				f.wakeProc(pi)
-			}
-		}
-		f.curCS = f.curCS[:0]
-		f.curP = f.curP[:0]
-		f.curCS, f.nextCS = f.nextCS, f.curCS
-		f.curP, f.nextP = f.nextP, f.curP
 		f.cycle++
 	}
+	return f.result()
+}
+
+// dispatch fans one phase out to the worker goroutines and waits for all
+// of them — the cycle barrier of the sharded engine.
+func (f *Fabric) dispatch(ph phaseToken) {
+	if !f.workersUp {
+		f.startWorkers()
+	}
+	for si := range f.shards {
+		f.cmd[si] <- ph
+	}
+	for range f.shards {
+		<-f.done
+	}
+}
+
+func (f *Fabric) startWorkers() {
+	f.cmd = make([]chan phaseToken, len(f.shards))
+	f.done = make(chan int, len(f.shards))
+	for si := range f.shards {
+		f.cmd[si] = make(chan phaseToken)
+		go func(sh *shardState, cmd chan phaseToken) {
+			for ph := range cmd {
+				switch ph {
+				case phaseStep:
+					sh.phaseStep()
+				case phaseSync:
+					sh.phaseSync()
+				case phaseQuit:
+					f.done <- sh.id
+					return
+				}
+				f.done <- sh.id
+			}
+		}(&f.shards[si], f.cmd[si])
+	}
+	f.workersUp = true
+}
+
+func (f *Fabric) stopWorkers() {
+	if !f.workersUp {
+		return
+	}
+	f.dispatch(phaseQuit)
+	for si := range f.cmd {
+		close(f.cmd[si])
+	}
+	f.cmd, f.done = nil, nil
+	f.workersUp = false
+}
+
+// result builds the Result, deep-copying accumulator and clock state out
+// of the fabric so the caller's data survives a Reset of this instance.
+func (f *Fabric) result() (*Result, error) {
 	res := &Result{
 		Cycles: f.cycle,
 		Acc:    make(map[mesh.Coord][]float32, len(f.coords)),
 		Clocks: make(map[mesh.Coord][]int64, len(f.coords)),
-		Stats:  f.stats,
 	}
+	for si := range f.shards {
+		sh := &f.shards[si]
+		res.Stats.Hops += sh.stats.Hops
+		res.Stats.RampMoves += sh.stats.RampMoves
+		res.Stats.Noops += sh.stats.Noops
+		if sh.stats.MaxQueueLen > res.Stats.MaxQueueLen {
+			res.Stats.MaxQueueLen = sh.stats.MaxQueueLen
+		}
+	}
+	totalAcc, totalClk := 0, 0
+	for i := range f.procs {
+		totalAcc += len(f.procs[i].acc)
+		totalClk += len(f.procs[i].clock)
+	}
+	accBuf := make([]float32, 0, totalAcc)
+	clkBuf := make([]int64, 0, totalClk)
 	for i, c := range f.coords {
-		if n := f.procs[i].inboxTotal; n > 0 {
-			return nil, fmt.Errorf("fabric: PE %v finished with %d unconsumed inbox wavelets", c, n)
+		p := &f.procs[i]
+		if p.inboxTotal > 0 {
+			return nil, fmt.Errorf("fabric: PE %v finished with %d unconsumed inbox wavelets", c, p.inboxTotal)
 		}
-		res.Acc[c] = f.procs[i].acc
-		if len(f.procs[i].clock) > 0 {
-			res.Clocks[c] = f.procs[i].clock
+		start := len(accBuf)
+		accBuf = append(accBuf, p.acc...)
+		res.Acc[c] = accBuf[start:len(accBuf):len(accBuf)]
+		if len(p.clock) > 0 {
+			start := len(clkBuf)
+			clkBuf = append(clkBuf, p.clock...)
+			res.Clocks[c] = clkBuf[start:len(clkBuf):len(clkBuf)]
 		}
-		if f.procs[i].received > res.Stats.MaxReceived {
-			res.Stats.MaxReceived = f.procs[i].received
+		if p.received > res.Stats.MaxReceived {
+			res.Stats.MaxReceived = p.received
 		}
 	}
 	return res, nil
@@ -360,85 +852,92 @@ func (f *Fabric) Run() (*Result, error) {
 // wavelet and has more, or it is waiting on a wire or on a ramp-transit
 // delay); it returns false when the state goes to sleep, to be woken by a
 // push or a downstream pop.
-func (f *Fabric) stepColor(cs *colorState) bool {
-	if cs.queued == 0 {
-		return false
-	}
-	cfg := cs.configs[cs.idx]
+func (sh *shardState) stepColor(csI int32) bool {
+	f := sh.f
+	cs := &f.colorStates[csI]
+	cfg := &cs.configs[cs.idx]
 	q := &cs.queues[cfg.Accept]
 	e, ok := q.peek()
 	if !ok {
-		return false // wavelets queued on non-accepted sides; a config advance will wake us
+		return false // nothing visible on the accepted side; a push or config advance will wake us
 	}
 	if e.readyAt > f.cycle {
 		return true // in ramp/link transit: retry next cycle
 	}
-	i := int(cs.router)
+	i := cs.router
 	r := &f.routers[i]
+	qcap := f.opt.QueueCap
+	stamp := f.cycle + 1
+	nbrs := &f.nbrs[i]
 	// Check every forward target; multicast moves atomically or not at all.
-	for d := mesh.Direction(0); d < mesh.NumDirections; d++ {
-		if !cfg.Forward.Has(d) {
-			continue
-		}
-		if r.outUsed[d] == f.cycle+1 {
+	// Iterating set bits touches only the actual targets (usually one). The
+	// resolved targets are cached so the commit pass below neither re-walks
+	// the tables nor re-checks capacity (this unit is the only producer of
+	// its target queues, so the feasibility result cannot change mid-step).
+	var targets [mesh.NumDirections]*waveQueue // non-ramp forward queues
+	var targetCS [mesh.NumDirections]int32
+	for set := cfg.Forward; set != 0; set &= set - 1 {
+		d := mesh.Direction(bits.TrailingZeros8(uint8(set)))
+		if r.outUsed[d] == stamp {
 			return true // wire contention: retry next cycle
 		}
 		if d == mesh.Ramp {
-			if f.procs[i].inboxFor(cs.color).len() >= f.opt.QueueCap {
+			if f.inboxQ(i, cs.color).prodLen() >= qcap {
 				return false // sleep until the processor drains its inbox
 			}
 			continue
 		}
-		nb := f.neighbor(i, d)
+		nb := nbrs[d]
 		if nb < 0 {
 			return false // off-grid (caught by Validate; defensive)
 		}
-		ncs := f.routers[nb].colors[cs.color]
-		if ncs == nil {
+		ncsI := f.csIndex(nb, cs.color)
+		if ncsI < 0 {
 			return false // unroutable color downstream: surfaces as deadlock
 		}
-		if !ncs.queues[d.Opposite()].hasSpace(f.opt.QueueCap) {
+		nq := &f.colorStates[ncsI].queues[d.Opposite()]
+		if !nq.hasSpace(qcap) {
 			return false // sleep until downstream pops
 		}
+		targets[d] = nq
+		targetCS[d] = ncsI
 	}
 	q.pop()
-	cs.queued--
-	f.queuedTotal--
+	sh.poppedQ = append(sh.poppedQ, q)
+	sh.qPops++
 	if f.opt.Tracer != nil {
 		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvRoute, Color: cs.color, Forward: cfg.Forward, Ctl: e.w.Ctl})
 	}
 	// Popping frees space: wake whoever fills this queue.
 	if cfg.Accept == mesh.Ramp {
-		f.wakeProc(cs.router)
-	} else if up := f.neighbor(i, cfg.Accept); up >= 0 {
-		f.wakeCS(f.routers[up].colors[cs.color])
+		sh.wakeProc(i)
+	} else if up := nbrs[cfg.Accept]; up >= 0 {
+		sh.wakeCS(f.csIndex(up, cs.color))
 	}
-	for d := mesh.Direction(0); d < mesh.NumDirections; d++ {
-		if !cfg.Forward.Has(d) {
-			continue
-		}
-		r.outUsed[d] = f.cycle + 1
+	for set := cfg.Forward; set != 0; set &= set - 1 {
+		d := mesh.Direction(bits.TrailingZeros8(uint8(set)))
+		r.outUsed[d] = stamp
 		if d == mesh.Ramp {
-			p := &f.procs[i]
-			p.inboxFor(cs.color).push(waveEntry{w: e.w, readyAt: f.cycle + int64(f.opt.TR)}, f.opt.QueueCap)
-			p.inboxTotal++
-			f.stats.RampMoves++
-			f.wakeProc(cs.router)
+			iq := f.inboxQ(i, cs.color)
+			iq.push(waveEntry{w: e.w, readyAt: f.cycle + int64(f.opt.TR)}, qcap)
+			sh.pushedQ = append(sh.pushedQ, iq)
+			f.procs[i].inboxTotal++
+			sh.stats.RampMoves++
+			sh.wakeProc(i)
 			if f.opt.Tracer != nil {
 				f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvDeliver, Color: cs.color, Ctl: e.w.Ctl})
 			}
 			continue
 		}
-		nb := f.neighbor(i, d)
-		ncs := f.routers[nb].colors[cs.color]
-		ncs.queues[d.Opposite()].push(waveEntry{w: e.w, readyAt: f.cycle + 1}, f.opt.QueueCap)
-		ncs.queued++
-		f.queuedTotal++
-		f.stats.Hops++
-		if l := ncs.queues[d.Opposite()].len(); l > f.stats.MaxQueueLen {
-			f.stats.MaxQueueLen = l
+		nq := targets[d]
+		nq.push(waveEntry{w: e.w, readyAt: stamp}, qcap)
+		sh.pushedQ = append(sh.pushedQ, nq)
+		sh.qPushes++
+		sh.stats.Hops++
+		if l := nq.prodLen(); l > sh.stats.MaxQueueLen {
+			sh.stats.MaxQueueLen = l
 		}
-		f.wakeCS(ncs)
+		sh.wakeCS(targetCS[d])
 	}
 	if e.w.Ctl {
 		cs.advance()
@@ -446,23 +945,28 @@ func (f *Fabric) stepColor(cs *colorState) bool {
 			f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvAdvance, Color: cs.color, Ctl: true})
 		}
 	}
-	return cs.queued > 0
+	if q.visLen() > 0 { // streaming fast path: more work behind the head
+		return true
+	}
+	return cs.anyVisible()
 }
 
 // pushRamp injects a wavelet from processor i into its router; the wavelet
 // becomes routable T_R cycles after the send instruction issues.
-func (f *Fabric) pushRamp(i int32, w Wavelet) bool {
-	cs := f.routers[i].colors[w.Color]
-	if cs == nil {
+func (sh *shardState) pushRamp(i int32, w Wavelet) bool {
+	f := sh.f
+	csI := f.csIndex(i, w.Color)
+	if csI < 0 {
 		return false
 	}
-	if !cs.queues[mesh.Ramp].push(waveEntry{w: w, readyAt: f.cycle + int64(f.opt.TR)}, f.opt.QueueCap) {
+	q := &f.colorStates[csI].queues[mesh.Ramp]
+	if !q.push(waveEntry{w: w, readyAt: f.cycle + int64(f.opt.TR)}, f.opt.QueueCap) {
 		return false
 	}
-	cs.queued++
-	f.queuedTotal++
-	f.stats.RampMoves++
-	f.wakeCS(cs)
+	sh.pushedQ = append(sh.pushedQ, q)
+	sh.qPushes++
+	sh.stats.RampMoves++
+	sh.wakeCS(csI)
 	if f.opt.Tracer != nil {
 		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvInject, Color: w.Color, Ctl: w.Ctl})
 	}
@@ -477,10 +981,10 @@ const (
 	popOK
 )
 
-func (f *Fabric) popInbox(i int32, c mesh.Color) (Wavelet, popState) {
-	p := &f.procs[i]
-	q := p.inbox[c]
-	if q == nil || q.len() == 0 {
+func (sh *shardState) popInbox(i int32, c mesh.Color) (Wavelet, popState) {
+	f := sh.f
+	q := f.inboxQ(i, c)
+	if q == nil || q.visLen() == 0 {
 		return Wavelet{}, popEmpty
 	}
 	e, _ := q.peek()
@@ -488,9 +992,10 @@ func (f *Fabric) popInbox(i int32, c mesh.Color) (Wavelet, popState) {
 		return Wavelet{}, popNotReady
 	}
 	q.pop()
-	p.inboxTotal--
+	sh.poppedQ = append(sh.poppedQ, q)
+	f.procs[i].inboxTotal--
 	// Draining the inbox may unblock the router's ramp delivery.
-	f.wakeCS(f.routers[i].colors[c])
+	sh.wakeCS(f.csIndex(i, c))
 	if f.opt.Tracer != nil {
 		f.opt.Tracer.record(TraceEvent{Cycle: f.cycle, PE: f.coords[i], Kind: EvConsume, Color: c, Ctl: e.w.Ctl})
 	}
@@ -499,7 +1004,8 @@ func (f *Fabric) popInbox(i int32, c mesh.Color) (Wavelet, popState) {
 
 // stepProc advances one processor by one cycle. It returns whether the
 // processor should stay scheduled next cycle.
-func (f *Fabric) stepProc(i int32) (bool, error) {
+func (sh *shardState) stepProc(i int32) (bool, error) {
+	f := sh.f
 	p := &f.procs[i]
 	if p.done {
 		return false, nil
@@ -515,13 +1021,13 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 			return false, f.failf(i, "program finished with %d undelivered inbox wavelets", p.inboxTotal)
 		}
 		p.done = true
-		f.pendingProcs--
+		sh.pending--
 		return false, nil
 	}
 	if f.opt.ThermalNoopRate > 0 {
 		p.rng = splitmix(p.rng)
 		if float64(p.rng%(1<<20))/float64(1<<20) < f.opt.ThermalNoopRate {
-			f.stats.Noops++
+			sh.stats.Noops++
 			return true, nil
 		}
 	}
@@ -529,7 +1035,7 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 	switch op.Kind {
 	case OpSend:
 		if !p.ctlPhase {
-			if f.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.Color}) {
+			if sh.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.Color}) {
 				p.elem++
 				if p.elem == op.N {
 					p.ctlPhase = true
@@ -538,24 +1044,24 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 			}
 			return false, nil // ramp full: woken by ramp-queue pop
 		}
-		if f.pushRamp(i, Wavelet{Color: op.Color, Ctl: true}) {
+		if sh.pushRamp(i, Wavelet{Color: op.Color, Ctl: true}) {
 			p.finishOp()
 			return true, nil
 		}
 		return false, nil
 
 	case OpSendTrigger:
-		if f.pushRamp(i, Wavelet{Color: op.Color}) {
+		if sh.pushRamp(i, Wavelet{Color: op.Color}) {
 			p.finishOp()
 			return true, nil
 		}
 		return false, nil
 
 	case OpRecvReduce, OpRecvStore:
-		if stay, gated := f.activationStall(i, op.Color); gated {
+		if stay, gated := sh.activationStall(i, op.Color); gated {
 			return stay, nil
 		}
-		w, st := f.popInbox(i, op.Color)
+		w, st := sh.popInbox(i, op.Color)
 		if st == popEmpty {
 			return false, nil
 		}
@@ -582,12 +1088,12 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 		return true, nil
 
 	case OpSendRecvReduce, OpSendRecvStore:
-		return f.stepSendRecv(i, op)
+		return sh.stepSendRecv(i, op)
 
 	case OpRecvReduceSend:
 		progress := false
 		if p.latchFull {
-			if f.pushRamp(i, Wavelet{Val: p.latchVal, Color: op.OutColor, Ctl: p.latchCtl}) {
+			if sh.pushRamp(i, Wavelet{Val: p.latchVal, Color: op.OutColor, Ctl: p.latchCtl}) {
 				wasCtl := p.latchCtl
 				p.latchFull = false
 				p.latchCtl = false
@@ -602,10 +1108,10 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 			}
 		}
 		if !p.latchFull {
-			if stay, gated := f.activationStall(i, op.Color); gated {
+			if stay, gated := sh.activationStall(i, op.Color); gated {
 				return stay || progress, nil
 			}
-			w, st := f.popInbox(i, op.Color)
+			w, st := sh.popInbox(i, op.Color)
 			switch st {
 			case popOK:
 				if w.Ctl {
@@ -638,7 +1144,7 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 		return progress, nil
 
 	case OpRecvTrigger:
-		w, st := f.popInbox(i, op.Color)
+		w, st := sh.popInbox(i, op.Color)
 		if st == popEmpty {
 			return false, nil
 		}
@@ -663,19 +1169,20 @@ func (f *Fabric) stepProc(i int32) (bool, error) {
 
 // stepSendRecv advances the full-duplex op: one outgoing and one incoming
 // wavelet per cycle, using both directions of the bidirectional ramp.
-func (f *Fabric) stepSendRecv(i int32, op *Op) (bool, error) {
+func (sh *shardState) stepSendRecv(i int32, op *Op) (bool, error) {
+	f := sh.f
 	p := &f.procs[i]
 	progress := false
 	// Outbound side: stream data then the trailing control.
 	if !p.sDone {
 		switch {
 		case p.elem < op.N:
-			if f.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.OutColor}) {
+			if sh.pushRamp(i, Wavelet{Val: p.acc[op.Off+p.elem], Color: op.OutColor}) {
 				p.elem++
 				progress = true
 			}
 		default:
-			if f.pushRamp(i, Wavelet{Color: op.OutColor, Ctl: true}) {
+			if sh.pushRamp(i, Wavelet{Color: op.OutColor, Ctl: true}) {
 				p.sDone = true
 				progress = true
 			}
@@ -684,7 +1191,7 @@ func (f *Fabric) stepSendRecv(i int32, op *Op) (bool, error) {
 	// Inbound side.
 	notReady := false
 	if !p.rDone {
-		w, st := f.popInbox(i, op.Color)
+		w, st := sh.popInbox(i, op.Color)
 		switch st {
 		case popOK:
 			if w.Ctl {
@@ -733,13 +1240,14 @@ func (p *proc) finishOp() {
 // the op's first wavelet is available, TaskActivation cycles elapse
 // before the processor consumes anything. Returns (stay, gated): gated
 // means the caller must not consume this cycle.
-func (f *Fabric) activationStall(i int32, color mesh.Color) (bool, bool) {
+func (sh *shardState) activationStall(i int32, color mesh.Color) (bool, bool) {
+	f := sh.f
 	p := &f.procs[i]
 	if f.opt.TaskActivation <= 0 || p.actDone {
 		return false, false
 	}
-	q := p.inbox[color]
-	if q == nil || q.len() == 0 {
+	q := f.inboxQ(i, color)
+	if q == nil || q.visLen() == 0 {
 		return false, true // nothing arrived yet: sleep until a push
 	}
 	if e, _ := q.peek(); e.readyAt > f.cycle {
@@ -764,6 +1272,10 @@ func (f *Fabric) failf(i int32, format string, args ...any) error {
 func (f *Fabric) describeStall() string {
 	var b strings.Builder
 	blocked := 0
+	queued := int64(0)
+	for si := range f.shards {
+		queued += f.shards[si].qPushes - f.shards[si].qPops
+	}
 	for i := range f.procs {
 		p := &f.procs[i]
 		if p.done {
@@ -780,6 +1292,6 @@ func (f *Fabric) describeStall() string {
 		}
 		blocked++
 	}
-	fmt.Fprintf(&b, "%d blocked PEs, %d queued wavelets", blocked, f.queuedTotal)
+	fmt.Fprintf(&b, "%d blocked PEs, %d queued wavelets", blocked, queued)
 	return b.String()
 }

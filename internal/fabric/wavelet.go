@@ -34,41 +34,81 @@ type waveEntry struct {
 	readyAt int64
 }
 
-// waveQueue is a small ring buffer of in-flight wavelets. Queues are
-// bounded; a full queue exerts backpressure on the upstream router, which
-// is how stalling propagates through the fabric.
+// waveQueue is a bounded single-producer single-consumer ring of in-flight
+// wavelets. Every fabric queue has exactly one producer (the upstream
+// router for a link queue, the local processor for a ramp queue, the local
+// router for an inbox) and one consumer, each performing at most one
+// operation per cycle.
+//
+// The cursors split each side's view in two: head/tail are the true
+// consumer/producer positions, headSeen/tailSeen are the positions the
+// *other* side observes. The seen cursors are synchronised only at the
+// cycle barrier (sync), so a push becomes visible to the consumer — and a
+// pop frees space for the producer — at the next cycle, never mid-cycle.
+// This makes every queue interaction independent of the order in which
+// units are stepped within a cycle, which is what lets the sharded engine
+// produce bit-identical results to the serial one, and lets either engine
+// step units in any order without data races: the producer only writes
+// tail and its buffer slot, the consumer only writes head, and the seen
+// cursors are written between cycles.
+// Cursors are uint32 and wrap; every derived quantity is a difference
+// bounded by the queue capacity, which wraparound arithmetic preserves.
 type waveQueue struct {
-	buf  []waveEntry
-	head int
-	n    int
+	buf      []waveEntry // allocated on first push, reused by Reset
+	head     uint32      // consumer cursor (monotonic mod 2^32)
+	tail     uint32      // producer cursor (monotonic mod 2^32)
+	headSeen uint32      // head as seen by the producer (synced at cycle barrier)
+	tailSeen uint32      // tail as seen by the consumer (synced at cycle barrier)
 }
 
-func (q *waveQueue) len() int { return q.n }
+// visLen is the consumer-visible occupancy.
+func (q *waveQueue) visLen() int { return int(q.tailSeen - q.head) }
 
-func (q *waveQueue) hasSpace(capacity int) bool { return q.n < capacity }
+// prodLen is the producer-visible occupancy: entries pushed but whose pop,
+// if any, has not yet crossed a cycle barrier.
+func (q *waveQueue) prodLen() int { return int(q.tail - q.headSeen) }
+
+// hasSpace reports whether the producer may push another entry.
+func (q *waveQueue) hasSpace(capacity int) bool { return int(q.tail-q.headSeen) < capacity }
 
 func (q *waveQueue) push(e waveEntry, capacity int) bool {
-	if q.n >= capacity {
+	if int(q.tail-q.headSeen) >= capacity {
 		return false
 	}
 	if q.buf == nil {
-		q.buf = make([]waveEntry, capacity)
+		// Power-of-two ring so the hot-path index is a mask, not a divide;
+		// the capacity bound above keeps occupancy at the configured depth.
+		n := 1
+		for n < capacity {
+			n <<= 1
+		}
+		q.buf = make([]waveEntry, n)
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = e
-	q.n++
+	q.buf[int(q.tail)&(len(q.buf)-1)] = e
+	q.tail++
 	return true
 }
 
 func (q *waveQueue) peek() (waveEntry, bool) {
-	if q.n == 0 {
+	if q.tailSeen == q.head {
 		return waveEntry{}, false
 	}
-	return q.buf[q.head], true
+	return q.buf[int(q.head)&(len(q.buf)-1)], true
 }
 
 func (q *waveQueue) pop() waveEntry {
-	e := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
-	q.n--
+	e := q.buf[int(q.head)&(len(q.buf)-1)]
+	q.head++
 	return e
+}
+
+// syncProducer publishes this cycle's push to the consumer; syncConsumer
+// publishes this cycle's pop to the producer. Each is called at the cycle
+// barrier by the side that performed the operation.
+func (q *waveQueue) syncProducer() { q.tailSeen = q.tail }
+func (q *waveQueue) syncConsumer() { q.headSeen = q.head }
+
+// reset re-arms the queue for a fresh run, keeping the allocated buffer.
+func (q *waveQueue) reset() {
+	q.head, q.tail, q.headSeen, q.tailSeen = 0, 0, 0, 0
 }

@@ -13,6 +13,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -68,6 +69,10 @@ type OptKey struct {
 	ThermalNoopRate float64
 	TaskActivation  int
 	Seed            uint64
+	// Shards does not change results (the sharded engine is bit-identical
+	// to the serial one) but is part of the key so a plan's pooled fabric
+	// instances are all built for the requested execution mode.
+	Shards int
 }
 
 // Key is the content key of a compiled plan.
@@ -102,6 +107,7 @@ func KeyOf(req Request) Key {
 			ThermalNoopRate: req.Opt.ThermalNoopRate,
 			TaskActivation:  req.Opt.TaskActivation,
 			Seed:            req.Opt.Seed,
+			Shards:          req.Opt.Shards,
 		},
 	}
 }
@@ -134,6 +140,12 @@ type Plan struct {
 	Tree, RowTree, ColTree comm.Tree
 	// Colors lists the routing colors the program occupies.
 	Colors []mesh.Color
+
+	// pool holds reset-able fabric instances for this plan. Replays of one
+	// plan differ only in their Init vectors, so a pooled instance is
+	// re-armed with Reset instead of paying fabric.New per run; results
+	// are bit-identical either way (Reset restores the RNG chain exactly).
+	pool sync.Pool
 }
 
 // tr is the normalised ramp latency used throughout compilation.
@@ -290,25 +302,40 @@ func specColors(s *fabric.Spec) []mesh.Color {
 // concurrent replays of one plan are race-free.
 func (p *Plan) bind(inputs [][]float32) (*fabric.Spec, error) {
 	s := fabric.NewSpec(p.Spec.Width, p.Spec.Height)
+	// One backing array for all per-run PESpec headers keeps a cache-hit
+	// replay down to a handful of allocations.
+	headers := make([]fabric.PESpec, 0, len(p.Spec.PEs))
 	for c, pe := range p.Spec.PEs {
 		cp := *pe
 		cp.Init = nil
-		s.PEs[c] = &cp
+		headers = append(headers, cp)
+		s.PEs[c] = &headers[len(headers)-1]
 	}
+	if err := p.setInits(s, inputs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// setInits validates the input arity and binds the input vectors into the
+// spec's PESpec headers. A pooled replay calls it on the pooled spec, so
+// the fabric sees the same spec object every run and takes its fast Reset
+// path.
+func (p *Plan) setInits(s *fabric.Spec, inputs [][]float32) error {
 	switch p.Kind {
 	case Broadcast1D, Broadcast2D, Scatter:
 		if len(inputs) != 1 || len(inputs[0]) != p.B {
-			return nil, fmt.Errorf("plan: %s wants one %d-element vector", p.Kind, p.B)
+			return fmt.Errorf("plan: %s wants one %d-element vector", p.Kind, p.B)
 		}
 		s.PE(mesh.Coord{}).Init = inputs[0]
 	case Gather, AllGather:
 		if len(inputs) != p.P {
-			return nil, fmt.Errorf("plan: %s wants %d chunks, got %d", p.Kind, p.P, len(inputs))
+			return fmt.Errorf("plan: %s wants %d chunks, got %d", p.Kind, p.P, len(inputs))
 		}
 		if b, err := core.CheckChunks(inputs); err != nil {
-			return nil, err
+			return err
 		} else if b != p.B {
-			return nil, fmt.Errorf("plan: chunks total %d elements, plan wants %d", b, p.B)
+			return fmt.Errorf("plan: chunks total %d elements, plan wants %d", b, p.B)
 		}
 		off, _ := core.Chunks(p.P, p.B)
 		for j, c := range mesh.Row(0, 0, p.P) {
@@ -320,7 +347,7 @@ func (p *Plan) bind(inputs [][]float32) (*fabric.Spec, error) {
 		}
 	case Reduce1D, AllReduce1D, ReduceScatter, AllReduceMidRoot:
 		if err := checkVectors(inputs, p.P, p.B); err != nil {
-			return nil, err
+			return err
 		}
 		for i, c := range mesh.Row(0, 0, p.P) {
 			s.PE(c).Init = inputs[i]
@@ -328,7 +355,7 @@ func (p *Plan) bind(inputs [][]float32) (*fabric.Spec, error) {
 	case Reduce2D, AllReduce2D:
 		n := p.Width * p.Height
 		if err := checkVectors(inputs, n, p.B); err != nil {
-			return nil, err
+			return err
 		}
 		i := 0
 		for y := 0; y < p.Height; y++ {
@@ -338,7 +365,7 @@ func (p *Plan) bind(inputs [][]float32) (*fabric.Spec, error) {
 			}
 		}
 	}
-	return s, nil
+	return nil
 }
 
 func checkVectors(inputs [][]float32, n, b int) error {
@@ -357,7 +384,58 @@ func checkVectors(inputs [][]float32, n, b int) error {
 // For broadcast and scatter kinds, inputs is the single root vector
 // wrapped in a one-element slice; for chunked kinds, the per-PE chunks;
 // otherwise one vector per PE. Execute is safe to call concurrently.
+//
+// Replays draw fabric instances from a per-plan pool: a cache-hit replay
+// re-arms a pooled instance with fabric.Reset instead of allocating a new
+// simulator, which is the difference between the compile-once promise and
+// actually being fast end-to-end. Concurrent replays each get their own
+// instance (or a fresh one when the pool is empty).
 func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
+	pf, _ := p.pool.Get().(*pooledFabric)
+	if pf == nil {
+		s, err := p.bind(inputs)
+		if err != nil {
+			return nil, err
+		}
+		f, err := fabric.New(s, p.Opt)
+		if err != nil {
+			return nil, err
+		}
+		pf = &pooledFabric{f: f, s: s}
+	} else {
+		// Rebind the inputs into the pooled spec in place: the fabric sees
+		// the same spec object it was armed from and takes its fast Reset
+		// path (no per-PE map lookups or structural re-validation).
+		if err := p.setInits(pf.s, inputs); err != nil {
+			p.pool.Put(pf)
+			return nil, err
+		}
+		if err := pf.f.Reset(pf.s); err != nil {
+			return nil, err
+		}
+	}
+	res, err := pf.f.Run()
+	if err != nil {
+		// Keep failed instances out of the pool: the error path is cold
+		// and a fresh New is the conservative restart.
+		return nil, err
+	}
+	p.pool.Put(pf)
+	return core.ReportOf(res, p.Predicted), nil
+}
+
+// pooledFabric pairs a reset-able fabric instance with the spec object it
+// was armed from; replays mutate only the spec's Init bindings.
+type pooledFabric struct {
+	f *fabric.Fabric
+	s *fabric.Spec
+}
+
+// ExecuteUnpooled replays the plan on a freshly allocated fabric,
+// bypassing the instance pool. It exists for benchmarking the pooled path
+// against the allocate-per-run baseline and for verifying the two produce
+// bit-identical results; serving paths should use Execute.
+func (p *Plan) ExecuteUnpooled(inputs [][]float32) (*core.Report, error) {
 	s, err := p.bind(inputs)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,8 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports that this binary was built with the race detector;
+// the 262k-PE scale test skips itself there (races in the sharded engine
+// are covered by the smaller concurrent tests at a fraction of the cost).
+const raceEnabled = true

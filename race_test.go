@@ -1,0 +1,8 @@
+//go:build race
+
+package wse
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool deliberately drops entries (to shake out bugs) and
+// alloc counts are meaningless — allocation guards skip themselves.
+const raceEnabled = true

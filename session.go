@@ -17,7 +17,11 @@ import (
 // SessionConfig tunes a Session; the zero value is usable.
 type SessionConfig struct {
 	// Options parameterise the simulated fabric for every collective the
-	// session runs; the zero value models the WSE-2.
+	// session runs; the zero value models the WSE-2. Options.Shards
+	// selects the sharded engine for every replay; Options.MaxCycles left
+	// at zero selects DefaultSessionMaxCycles rather than the simulator's
+	// near-unbounded default, so a stuck replay fails fast with a stall
+	// diagnostic instead of spinning for hours.
 	Options Options
 	// PlanCacheCapacity bounds the number of compiled plans kept resident
 	// (<= 0 selects the default of 128). Distinct shapes beyond the
@@ -27,6 +31,15 @@ type SessionConfig struct {
 	// simulations (<= 0 selects GOMAXPROCS).
 	Workers int
 }
+
+// DefaultSessionMaxCycles is the per-run cycle cap a Session applies when
+// its Options leave MaxCycles at zero. The bare simulator defaults to
+// 2^34 cycles — days of wall-clock for a large sharded run gone wrong —
+// which is the right generosity for one-shot experiments but not for a
+// serving loop. 2^28 cycles is ~100× the largest legitimate run of the
+// experiment suite (a full-wafer Star at 16 KB) yet fails a wedged replay
+// within seconds, with the engine's blocked-PE diagnostic attached.
+const DefaultSessionMaxCycles = 1 << 28
 
 // PlanStats is the plan cache accounting: hits, misses, evictions and
 // resident plan count.
@@ -41,6 +54,9 @@ type Session struct {
 // NewSession creates a session. The zero SessionConfig models the WSE-2
 // with the default cache capacity and one worker per CPU.
 func NewSession(cfg SessionConfig) *Session {
+	if cfg.Options.MaxCycles == 0 {
+		cfg.Options.MaxCycles = DefaultSessionMaxCycles
+	}
 	return &Session{
 		opt: cfg.Options,
 		s:   plan.NewSession(cfg.PlanCacheCapacity, cfg.Workers),
