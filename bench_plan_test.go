@@ -156,6 +156,13 @@ func BenchmarkFabricReplayModes(b *testing.B) {
 		}},
 	}
 	point := map[string]any{"bench": "fabric-replay-modes"}
+	// Sharded wall-clock wins need cores: record the host so a parity
+	// result on a single-core box is not misread as "sharding is free but
+	// useless".
+	point["host_cores"] = runtime.NumCPU()
+	if runtime.NumCPU() == 1 {
+		point["host_note"] = "single-core host: sharded-pooled shows barrier-overhead parity, not speedup; re-measure on a multi-core box"
+	}
 	for _, shape := range shapes {
 		for _, mode := range replayModes() {
 			req := shape.req

@@ -1,0 +1,130 @@
+package wse
+
+// Benchmarks of the plan-persistence subsystem: what acquiring a plan
+// costs cold (full model-driven compile), from the content-addressed
+// store (disk read + SHA-256 verification + decode), and on a cache hit —
+// and what the first request costs on a warm-started session versus a
+// steady-state cached replay. The headline numbers are written to
+// BENCH_store.json as a trajectory point.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// BenchmarkWarmVsCold measures the tracked reduce1d p=512 B=16 shape
+// through every plan-acquisition path. The acceptance bar is the last two
+// corners: first-request latency on a session warmed from a populated
+// store must sit at cache-hit replay latency, i.e. no compile on the
+// serving path.
+func BenchmarkWarmVsCold(b *testing.B) {
+	dir := b.TempDir()
+	store, err := OpenPlanStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape := Shape{Kind: KindReduce, Alg: Auto, P: planBenchP, B: planBenchB, Op: Sum}
+	stage := NewSession(SessionConfig{})
+	if st, err := stage.Warm(store, []Shape{shape}); err != nil || st.Compiled != 1 {
+		b.Fatalf("staging warm: %+v, %v", st, err)
+	}
+	key := store.Keys()[0]
+	vectors := constVectors(planBenchP, planBenchB)
+
+	point := map[string]any{
+		"bench": "warm-vs-cold",
+		"shape": map[string]any{
+			"kind": "reduce1d", "alg": "auto",
+			"p": planBenchP, "b": planBenchB,
+		},
+		"host_cores": runtime.NumCPU(),
+	}
+
+	var compileNs, storeLoadNs, cacheHitNs float64
+	b.Run("compile-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Compile(planBenchReq()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		compileNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("store-decode-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := store.Load(key); err != nil || !ok {
+				b.Fatalf("load: ok=%v err=%v", ok, err)
+			}
+		}
+		storeLoadNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	cache := plan.NewCache(8)
+	if _, err := cache.Get(planBenchReq()); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cache-hit-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Get(planBenchReq()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cacheHitNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	// First-request latency on a freshly warm-started serving process.
+	// Session construction and the Warm pass happen off the clock: the
+	// measured region is exactly what a caller sees on request one.
+	var warmFirstNs float64
+	b.Run("warm-first-request", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			serve := NewSession(SessionConfig{})
+			if st, err := serve.Warm(store, nil); err != nil || st.Loaded != 1 {
+				b.Fatalf("warm: %+v, %v", st, err)
+			}
+			b.StartTimer()
+			if _, err := serve.Reduce(vectors, Auto, Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+		warmFirstNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	sess := NewSession(SessionConfig{})
+	if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+		b.Fatal(err)
+	}
+	var replayNs float64
+	b.Run("cached-replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Reduce(vectors, Auto, Sum); err != nil {
+				b.Fatal(err)
+			}
+		}
+		replayNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	if replayNs > 0 && storeLoadNs > 0 {
+		point["compile_ns_per_op"] = compileNs
+		point["store_decode_ns_per_op"] = storeLoadNs
+		point["cache_hit_ns_per_op"] = cacheHitNs
+		point["warm_first_request_ns_per_op"] = warmFirstNs
+		point["cached_replay_ns_per_op"] = replayNs
+		// The headlines: what warm-start saves per plan (compile vs
+		// decode), and proof the serving path never compiles (first
+		// request ≈ steady-state replay).
+		point["decode_vs_compile_speedup"] = compileNs / storeLoadNs
+		point["first_request_vs_replay"] = warmFirstNs / replayNs
+		b.ReportMetric(compileNs/storeLoadNs, "decode-x")
+		b.ReportMetric(warmFirstNs/replayNs, "first-req-vs-replay")
+		buf, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_store.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_store.json not written: %v", err)
+		}
+	}
+}

@@ -5,14 +5,22 @@
 // the cached plan — pass -repeat to see the compiled-plan subsystem's
 // cold/warm split, and -workers to replay concurrently.
 //
+// Subcommands manage the on-disk plan store, the pre-deployment warm-up
+// path:
+//
+//	wsecollect export -store DIR [shape flags]   compile the shape into DIR
+//	wsecollect warm   -store DIR                 preload every stored plan
+//	wsecollect [run]  -store DIR [shape flags]   serve with read/write-through
+//
 // Examples:
 //
 //	wsecollect -collective reduce -alg autogen -p 512 -bytes 1024
 //	wsecollect -collective allreduce -alg auto -p 64 -bytes 4096 -op max
 //	wsecollect -collective reduce2d -alg2d snake -grid 32x32 -bytes 256
-//	wsecollect -collective broadcast -p 512 -bytes 16384
+//	wsecollect -collective gather -p 16 -bytes 4096
 //	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -repeat 64 -workers 8
-//	wsecollect -collective reduce2d -grid 512x512 -bytes 16 -shards 8 -cpuprofile cpu.out
+//	wsecollect export -store ./plans -collective reduce -alg auto -p 512 -bytes 64
+//	wsecollect warm -store ./plans
 package main
 
 import (
@@ -21,39 +29,84 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	wse "repro"
+	"repro/internal/core"
 )
 
 func main() { os.Exit(realMain()) }
 
+// config carries every flag; subcommands share one flag set so a shape is
+// spelled identically in run, export and warm invocations.
+type config struct {
+	collective string
+	alg        string
+	alg2d      string
+	p          int
+	grid       string
+	bytes      int
+	opName     string
+	tr         int
+	thermal    float64
+	skew       int64
+	seed       uint64
+	repeat     int
+	workers    int
+	shards     int
+	maxCycles  int64
+	store      string
+	cpuprofile string
+}
+
+func parseFlags(cmd string, args []string) (*config, error) {
+	c := &config{}
+	fs := flag.NewFlagSet("wsecollect "+cmd, flag.ContinueOnError)
+	fs.StringVar(&c.collective, "collective", "reduce", "reduce, allreduce, broadcast, reduce2d, allreduce2d, broadcast2d, scatter, gather, reducescatter, allgather, allreduce-midroot")
+	fs.StringVar(&c.alg, "alg", "auto", "1D algorithm: star, chain, tree, twophase, autogen, auto")
+	fs.StringVar(&c.alg2d, "alg2d", "auto", "2D algorithm: xy-star, xy-chain, xy-tree, xy-twophase, xy-autogen, snake, auto")
+	fs.IntVar(&c.p, "p", 64, "row length for 1D collectives")
+	fs.StringVar(&c.grid, "grid", "16x16", "grid WxH for 2D collectives")
+	fs.IntVar(&c.bytes, "bytes", 1024, "vector length in bytes (4 bytes per float32 wavelet)")
+	fs.StringVar(&c.opName, "op", "sum", "reduction operator: sum, max, min")
+	fs.IntVar(&c.tr, "tr", 0, "ramp latency T_R (0 = WSE-2 default of 2)")
+	fs.Float64Var(&c.thermal, "thermal", 0, "thermal no-op rate (paper: wafer inserts no-ops to avoid cracking)")
+	fs.Int64Var(&c.skew, "skew", 0, "max per-PE clock skew in cycles")
+	fs.Uint64Var(&c.seed, "seed", 1, "deterministic seed for skew/thermal")
+	fs.IntVar(&c.repeat, "repeat", 1, "run the collective this many times through the plan cache")
+	fs.IntVar(&c.workers, "workers", 0, "concurrent replays (0 = GOMAXPROCS)")
+	fs.IntVar(&c.shards, "shards", 0, "row-band shards per fabric simulation (0/1 = serial engine; results are bit-identical)")
+	fs.Int64Var(&c.maxCycles, "maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28; raise for very large serialized runs)")
+	fs.StringVar(&c.store, "store", "", "plan store directory (run: read/write-through; export/warm: required)")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the runs to this file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // realMain carries the exit code back to main so deferred cleanup (CPU
 // profile flush) runs before the process exits.
 func realMain() int {
-	collective := flag.String("collective", "reduce", "reduce, allreduce, broadcast, reduce2d, allreduce2d, broadcast2d")
-	alg := flag.String("alg", "auto", "1D algorithm: star, chain, tree, twophase, autogen, auto")
-	alg2d := flag.String("alg2d", "auto", "2D algorithm: xy-star, xy-chain, xy-tree, xy-twophase, xy-autogen, snake, auto")
-	p := flag.Int("p", 64, "row length for 1D collectives")
-	grid := flag.String("grid", "16x16", "grid WxH for 2D collectives")
-	bytes := flag.Int("bytes", 1024, "vector length in bytes (4 bytes per float32 wavelet)")
-	opName := flag.String("op", "sum", "reduction operator: sum, max, min")
-	tr := flag.Int("tr", 0, "ramp latency T_R (0 = WSE-2 default of 2)")
-	thermal := flag.Float64("thermal", 0, "thermal no-op rate (paper: wafer inserts no-ops to avoid cracking)")
-	skew := flag.Int64("skew", 0, "max per-PE clock skew in cycles")
-	seed := flag.Uint64("seed", 1, "deterministic seed for skew/thermal")
-	repeat := flag.Int("repeat", 1, "run the collective this many times through the plan cache")
-	workers := flag.Int("workers", 0, "concurrent replays (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "row-band shards per fabric simulation (0/1 = serial engine; results are bit-identical)")
-	maxCycles := flag.Int64("maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28; raise for very large serialized runs)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the runs to this file")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "run"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	c, err := parseFlags(cmd, args)
+	if err == flag.ErrHelp {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wsecollect:", err)
 			return 1
@@ -66,79 +119,220 @@ func realMain() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*collective, *alg, *alg2d, *p, *grid, *bytes, *opName, *tr, *thermal, *skew, *seed, *repeat, *workers, *shards, *maxCycles); err != nil {
+	switch cmd {
+	case "run":
+		err = runCmd(c)
+	case "export":
+		err = exportCmd(c)
+	case "warm":
+		err = warmCmd(c)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm)", cmd)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)
 		return 1
 	}
 	return 0
 }
 
-func run(collective, alg, alg2d string, p int, grid string, bytes int, opName string, tr int, thermal float64, skew int64, seed uint64, repeat, workers, shards int, maxCycles int64) error {
-	b := bytes / 4
-	if b < 1 {
-		return fmt.Errorf("vector must be at least 4 bytes")
+func (c *config) options() wse.Options {
+	return wse.Options{TR: c.tr, ThermalNoopRate: c.thermal, ClockSkewMax: c.skew,
+		Seed: c.seed, Shards: c.shards, MaxCycles: c.maxCycles}
+}
+
+func (c *config) reduceOp() (wse.ReduceOp, error) {
+	switch c.opName {
+	case "sum":
+		return wse.Sum, nil
+	case "max":
+		return wse.Max, nil
+	case "min":
+		return wse.Min, nil
 	}
+	return wse.Sum, fmt.Errorf("unknown op %q", c.opName)
+}
+
+// shape resolves the flag spelling of a collective into a wse.Shape.
+func (c *config) shape() (wse.Shape, error) {
+	op, err := c.reduceOp()
+	if err != nil {
+		return wse.Shape{}, err
+	}
+	b := c.bytes / 4
+	if b < 1 {
+		return wse.Shape{}, fmt.Errorf("vector must be at least 4 bytes")
+	}
+	var w, h int
+	if n, err := fmt.Sscanf(c.grid, "%dx%d", &w, &h); n != 2 || err != nil {
+		return wse.Shape{}, fmt.Errorf("bad -grid %q (want WxH)", c.grid)
+	}
+	sh := wse.Shape{B: b, Op: op}
+	switch strings.ToLower(c.collective) {
+	case "reduce":
+		sh.Kind, sh.Alg, sh.P = wse.KindReduce, wse.Algorithm(c.alg), c.p
+	case "allreduce":
+		sh.Kind, sh.Alg, sh.P = wse.KindAllReduce, wse.Algorithm(c.alg), c.p
+	case "allreduce-midroot":
+		sh.Kind, sh.Alg, sh.P = wse.KindAllReduceMidRoot, wse.Algorithm(c.alg), c.p
+	case "broadcast":
+		sh.Kind, sh.P = wse.KindBroadcast, c.p
+	case "scatter":
+		sh.Kind, sh.P = wse.KindScatter, c.p
+	case "gather":
+		sh.Kind, sh.P = wse.KindGather, c.p
+	case "reducescatter":
+		sh.Kind, sh.P = wse.KindReduceScatter, c.p
+	case "allgather":
+		sh.Kind, sh.P = wse.KindAllGather, c.p
+	case "reduce2d":
+		sh.Kind, sh.Alg2D, sh.Width, sh.Height = wse.KindReduce2D, wse.Algorithm2D(c.alg2d), w, h
+	case "allreduce2d":
+		sh.Kind, sh.Alg2D, sh.Width, sh.Height = wse.KindAllReduce2D, wse.Algorithm2D(c.alg2d), w, h
+	case "broadcast2d":
+		sh.Kind, sh.Width, sh.Height = wse.KindBroadcast2D, w, h
+	default:
+		return wse.Shape{}, fmt.Errorf("unknown collective %q", c.collective)
+	}
+	return sh, nil
+}
+
+// describe renders the PE geometry of a shape for the report line.
+func describe(sh wse.Shape, alg, alg2d string) string {
+	switch sh.Kind {
+	case wse.KindReduce2D, wse.KindAllReduce2D:
+		return fmt.Sprintf("%dx%d PEs, alg=%s", sh.Width, sh.Height, alg2d)
+	case wse.KindBroadcast2D:
+		return fmt.Sprintf("%dx%d PEs", sh.Width, sh.Height)
+	case wse.KindReduce, wse.KindAllReduce, wse.KindAllReduceMidRoot:
+		return fmt.Sprintf("%dx1 PEs, alg=%s", sh.P, alg)
+	}
+	return fmt.Sprintf("%dx1 PEs", sh.P)
+}
+
+// once builds the run closure for a shape: the inputs and the session
+// method that serves it.
+func once(sess *wse.Session, sh wse.Shape) func() (*wse.Report, error) {
+	switch sh.Kind {
+	case wse.KindReduce:
+		v := constVectors(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.Reduce(v, sh.Alg, sh.Op) }
+	case wse.KindAllReduce:
+		v := constVectors(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.AllReduce(v, sh.Alg, sh.Op) }
+	case wse.KindAllReduceMidRoot:
+		v := constVectors(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.AllReduceMidRoot(v, sh.Alg, sh.Op) }
+	case wse.KindBroadcast:
+		data := constVec(sh.B, 1)
+		return func() (*wse.Report, error) { return sess.Broadcast(data, sh.P) }
+	case wse.KindScatter:
+		data := constVec(sh.B, 1)
+		return func() (*wse.Report, error) { return sess.Scatter(data, sh.P) }
+	case wse.KindGather:
+		ch := chunks(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.Gather(ch) }
+	case wse.KindReduceScatter:
+		v := constVectors(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.ReduceScatter(v, sh.Op) }
+	case wse.KindAllGather:
+		ch := chunks(sh.P, sh.B)
+		return func() (*wse.Report, error) { return sess.AllGather(ch) }
+	case wse.KindReduce2D:
+		v := constVectors(sh.Width*sh.Height, sh.B)
+		return func() (*wse.Report, error) { return sess.Reduce2D(v, sh.Width, sh.Height, sh.Alg2D, sh.Op) }
+	case wse.KindAllReduce2D:
+		v := constVectors(sh.Width*sh.Height, sh.B)
+		return func() (*wse.Report, error) { return sess.AllReduce2D(v, sh.Width, sh.Height, sh.Alg2D, sh.Op) }
+	case wse.KindBroadcast2D:
+		data := constVec(sh.B, 1)
+		return func() (*wse.Report, error) { return sess.Broadcast2D(data, sh.Width, sh.Height) }
+	}
+	return func() (*wse.Report, error) { return nil, fmt.Errorf("unservable kind %q", sh.Kind) }
+}
+
+// exportCmd compiles the flag-specified shape into the plan store without
+// running it: the staging half of the pre-deployment warm-up recipe.
+func exportCmd(c *config) error {
+	if c.store == "" {
+		return fmt.Errorf("export requires -store DIR")
+	}
+	sh, err := c.shape()
+	if err != nil {
+		return err
+	}
+	store, err := wse.OpenPlanStore(c.store)
+	if err != nil {
+		return err
+	}
+	sess := wse.NewSession(wse.SessionConfig{Options: c.options()})
+	start := time.Now()
+	st, err := sess.Warm(store, []wse.Shape{sh})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exported %s to %s in %v (%d compiled, %d already stored); store holds %d plans\n",
+		c.collective, c.store, time.Since(start).Round(time.Millisecond),
+		st.Compiled, st.Loaded+st.Resident, store.Len())
+	return nil
+}
+
+// warmCmd decodes every stored plan into a fresh session's cache — what a
+// serving process does before taking traffic — and reports the decode
+// throughput and the resulting cache population.
+func warmCmd(c *config) error {
+	if c.store == "" {
+		return fmt.Errorf("warm requires -store DIR")
+	}
+	store, err := wse.OpenPlanStore(c.store)
+	if err != nil {
+		return err
+	}
+	sess := wse.NewSession(wse.SessionConfig{Options: c.options(), Workers: c.workers})
+	start := time.Now()
+	st, err := sess.Warm(store, nil)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsecollect: warm (continuing):", err)
+	}
+	fmt.Printf("warmed %d plans from %s in %v (%d decoded, %d compiled)\n",
+		st.Loaded+st.Compiled+st.Resident, c.store, elapsed.Round(time.Millisecond), st.Loaded, st.Compiled)
+	keys := store.Keys()
+	names := make([]string, 0, len(keys))
+	for _, k := range keys {
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println("  ", n)
+	}
+	return nil
+}
+
+func runCmd(c *config) error {
+	sh, err := c.shape()
+	if err != nil {
+		return err
+	}
+	repeat := c.repeat
 	if repeat < 1 {
 		repeat = 1
 	}
-	var op wse.ReduceOp
-	switch opName {
-	case "sum":
-		op = wse.Sum
-	case "max":
-		op = wse.Max
-	case "min":
-		op = wse.Min
-	default:
-		return fmt.Errorf("unknown op %q", opName)
+	cfg := wse.SessionConfig{Options: c.options(), Workers: c.workers}
+	if c.store != "" {
+		store, err := wse.OpenPlanStore(c.store)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
 	}
-	opt := wse.Options{TR: tr, ThermalNoopRate: thermal, ClockSkewMax: skew, Seed: seed, Shards: shards, MaxCycles: maxCycles}
-	sess := wse.NewSession(wse.SessionConfig{Options: opt, Workers: workers})
+	sess := wse.NewSession(cfg)
+	run := once(sess, sh)
 
-	var w, h int
-	if n, err := fmt.Sscanf(grid, "%dx%d", &w, &h); n != 2 || err != nil {
-		return fmt.Errorf("bad -grid %q (want WxH)", grid)
-	}
-
-	vec1d := make([][]float32, p)
-	for i := range vec1d {
-		vec1d[i] = constVec(b, 1)
-	}
-	vec2d := make([][]float32, w*h)
-	for i := range vec2d {
-		vec2d[i] = constVec(b, 1)
-	}
-
-	var once func() (*wse.Report, error)
-	var shape string
-	switch strings.ToLower(collective) {
-	case "reduce":
-		once = func() (*wse.Report, error) { return sess.Reduce(vec1d, wse.Algorithm(alg), op) }
-		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
-	case "allreduce":
-		once = func() (*wse.Report, error) { return sess.AllReduce(vec1d, wse.Algorithm(alg), op) }
-		shape = fmt.Sprintf("%dx1 PEs, alg=%s", p, alg)
-	case "broadcast":
-		data := constVec(b, 1)
-		once = func() (*wse.Report, error) { return sess.Broadcast(data, p) }
-		shape = fmt.Sprintf("%dx1 PEs", p)
-	case "reduce2d":
-		once = func() (*wse.Report, error) { return sess.Reduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op) }
-		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
-	case "allreduce2d":
-		once = func() (*wse.Report, error) { return sess.AllReduce2D(vec2d, w, h, wse.Algorithm2D(alg2d), op) }
-		shape = fmt.Sprintf("%dx%d PEs, alg=%s", w, h, alg2d)
-	case "broadcast2d":
-		data := constVec(b, 1)
-		once = func() (*wse.Report, error) { return sess.Broadcast2D(data, w, h) }
-		shape = fmt.Sprintf("%dx%d PEs", w, h)
-	default:
-		return fmt.Errorf("unknown collective %q", collective)
-	}
-
-	// Cold call: compiles the plan into the session cache.
+	// Cold call: compiles the plan into the session cache (or, with a
+	// store attached, decodes the stored plan).
 	coldStart := time.Now()
-	rep, err := once()
+	rep, err := run()
 	if err != nil {
 		return err
 	}
@@ -150,7 +344,7 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 	var warm time.Duration
 	if repeat > 1 {
 		warmStart := time.Now()
-		feeders := workers
+		feeders := c.workers
 		if feeders <= 0 {
 			feeders = runtime.GOMAXPROCS(0)
 		}
@@ -166,7 +360,7 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 			go func() {
 				defer wg.Done()
 				for remaining.Add(-1) >= 0 {
-					if _, err := once(); err != nil {
+					if _, err := run(); err != nil {
 						errs <- err
 						return
 					}
@@ -181,7 +375,7 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 		warm = time.Since(warmStart) / time.Duration(repeat-1)
 	}
 
-	fmt.Printf("%s of %d bytes on %s\n", collective, bytes, shape)
+	fmt.Printf("%s of %d bytes on %s\n", c.collective, c.bytes, describe(sh, c.alg, c.alg2d))
 	fmt.Printf("  measured   %10d cycles (%.2f us at 850 MHz)\n", rep.Cycles, float64(rep.Cycles)/850)
 	fmt.Printf("  predicted  %10.0f cycles (%.1f%% relative error)\n", rep.Predicted,
 		100*abs(float64(rep.Cycles)-rep.Predicted)/float64(rep.Cycles))
@@ -191,12 +385,15 @@ func run(collective, alg, alg2d string, p int, grid string, bytes int, opName st
 		fmt.Printf("  thermal    %10d inserted no-ops\n", rep.Stats.Noops)
 	}
 	if len(rep.Root) > 0 {
-		fmt.Printf("  result[0]  %10.1f (expect PE count for all-ones reduce input)\n", rep.Root[0])
+		fmt.Printf("  result[0]  %10.1f\n", rep.Root[0])
 	}
-	if repeat > 1 {
+	if repeat > 1 || c.store != "" {
 		st := sess.PlanStats()
 		fmt.Printf("  plan cache %10d hits, %d misses (cold %v, warm %v/op)\n",
 			st.Hits, st.Misses, cold.Round(time.Microsecond), warm.Round(time.Microsecond))
+		if c.store != "" {
+			fmt.Printf("  plan store %10d loads, %d errors\n", st.StoreHits, st.StoreErrors)
+		}
 	}
 	return nil
 }
@@ -205,6 +402,26 @@ func constVec(n int, v float32) []float32 {
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = v
+	}
+	return out
+}
+
+func constVectors(p, b int) [][]float32 {
+	out := make([][]float32, p)
+	for i := range out {
+		out[i] = constVec(b, 1)
+	}
+	return out
+}
+
+// chunks splits an all-ones b-element vector into the per-PE chunks a
+// compiled gather/allgather program expects, using the canonical split
+// rule the compiler itself validates inputs against.
+func chunks(p, b int) [][]float32 {
+	_, sz := core.Chunks(p, b)
+	out := make([][]float32, p)
+	for i, n := range sz {
+		out[i] = constVec(n, 1)
 	}
 	return out
 }

@@ -59,6 +59,15 @@ type Options struct {
 // DefaultTR is the ramp latency the paper determined for the WSE-2.
 const DefaultTR = 2
 
+// DefaultQueueCap is the router input queue depth selected when
+// Options.QueueCap is zero or negative.
+const DefaultQueueCap = 4
+
+// DefaultMaxCycles is the simulated-cycle budget selected when
+// Options.MaxCycles is zero or negative: generous enough for any one-shot
+// experiment (serving loops cap it far lower, see wse.Session).
+const DefaultMaxCycles = 1 << 34
+
 func (o Options) withDefaults() Options {
 	if o.TR == 0 {
 		o.TR = DefaultTR
@@ -67,11 +76,40 @@ func (o Options) withDefaults() Options {
 		o.TR = 0
 	}
 	if o.QueueCap <= 0 {
-		o.QueueCap = 4
+		o.QueueCap = DefaultQueueCap
 	}
 	if o.MaxCycles <= 0 {
-		o.MaxCycles = 1 << 34
+		o.MaxCycles = DefaultMaxCycles
 	}
+	return o
+}
+
+// Canonical resolves every defaulted field to the concrete value the
+// engine would run under, so two Options that execute identically compare
+// equal. The noise parameters are clamped into their effective ranges, the
+// Seed is dropped when nothing draws from the RNG, Shards at or below one
+// collapses to the serial engine's zero, and the Tracer handle (a debug
+// attachment, not an execution parameter) is cleared. Cache keys and
+// persisted plans are derived from canonical options, which is what keeps
+// a plan stored by one release addressable by the next.
+func (o Options) Canonical() Options {
+	o = o.withDefaults()
+	if o.ClockSkewMax < 0 {
+		o.ClockSkewMax = 0
+	}
+	if o.ThermalNoopRate <= 0 {
+		o.ThermalNoopRate = 0
+	}
+	if o.TaskActivation < 0 {
+		o.TaskActivation = 0
+	}
+	if o.ClockSkewMax == 0 && o.ThermalNoopRate == 0 {
+		o.Seed = 0
+	}
+	if o.Shards <= 1 {
+		o.Shards = 0
+	}
+	o.Tracer = nil
 	return o
 }
 

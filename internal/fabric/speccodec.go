@@ -1,0 +1,241 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// Binary codec for Spec: the persistence hook the plan store builds on.
+// A Spec is plain data — programs, routing tables, optional init vectors —
+// so it serialises without reflection into a compact, versioned, fully
+// deterministic byte form: PEs are emitted in row-major coordinate order
+// and router configuration lists in ascending color order, so encoding the
+// same program twice (or in two processes) yields identical bytes. That
+// determinism is what lets the plan store address blobs by content hash.
+//
+// Integers use varint/uvarint encoding; floats are IEEE-754 bit patterns
+// in little-endian order. The first byte is a codec version so a future
+// layout change can keep decoding old specs.
+
+// SpecCodecVersion is the current version byte of the Spec binary layout.
+const SpecCodecVersion = 1
+
+// MarshalBinary encodes the spec deterministically.
+func (s *Spec) MarshalBinary() ([]byte, error) {
+	e := &wireEnc{}
+	e.byte(SpecCodecVersion)
+	e.uvarint(uint64(s.Width))
+	e.uvarint(uint64(s.Height))
+	coords := make([]mesh.Coord, 0, len(s.PEs))
+	for c := range s.PEs {
+		coords = append(coords, c)
+	}
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].Y != coords[j].Y {
+			return coords[i].Y < coords[j].Y
+		}
+		return coords[i].X < coords[j].X
+	})
+	e.uvarint(uint64(len(coords)))
+	for _, c := range coords {
+		pe := s.PEs[c]
+		e.varint(int64(c.X))
+		e.varint(int64(c.Y))
+		e.uvarint(uint64(len(pe.Init)))
+		for _, v := range pe.Init {
+			e.f32(v)
+		}
+		e.uvarint(uint64(len(pe.Ops)))
+		for _, op := range pe.Ops {
+			e.byte(byte(op.Kind))
+			e.byte(byte(op.Color))
+			e.byte(byte(op.OutColor))
+			e.varint(int64(op.N))
+			e.varint(int64(op.Off))
+			e.varint(int64(op.N2))
+			e.varint(int64(op.Off2))
+			e.varint(int64(op.Slot))
+			e.byte(byte(op.Reduce))
+		}
+		colors := make([]mesh.Color, 0, len(pe.Configs))
+		for col := range pe.Configs {
+			colors = append(colors, col)
+		}
+		sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+		e.uvarint(uint64(len(colors)))
+		for _, col := range colors {
+			cfgs := pe.Configs[col]
+			e.byte(byte(col))
+			e.uvarint(uint64(len(cfgs)))
+			for _, cfg := range cfgs {
+				e.byte(byte(cfg.Accept))
+				e.byte(byte(cfg.Forward))
+				e.varint(int64(cfg.Times))
+			}
+		}
+		e.varint(int64(pe.ClockSlots))
+	}
+	return e.buf, nil
+}
+
+// UnmarshalBinary decodes a spec previously produced by MarshalBinary,
+// replacing the receiver's contents.
+func (s *Spec) UnmarshalBinary(data []byte) error {
+	d := &wireDec{buf: data}
+	if v := d.byte(); v != SpecCodecVersion {
+		if d.err != nil {
+			return fmt.Errorf("fabric: spec codec: %v", d.err)
+		}
+		return fmt.Errorf("fabric: spec codec version %d, this build reads %d", v, SpecCodecVersion)
+	}
+	width := int(d.uvarint())
+	height := int(d.uvarint())
+	n := int(d.uvarint())
+	if d.err != nil {
+		return fmt.Errorf("fabric: spec codec: %v", d.err)
+	}
+	if width < 1 || height < 1 || n < 0 || n > width*height {
+		return fmt.Errorf("fabric: spec codec: %d PEs on %dx%d grid", n, width, height)
+	}
+	out := NewSpec(width, height)
+	for i := 0; i < n; i++ {
+		c := mesh.Coord{X: int(d.varint()), Y: int(d.varint())}
+		if d.err != nil {
+			return fmt.Errorf("fabric: spec codec: PE %d: %v", i, d.err)
+		}
+		if c.X < 0 || c.X >= width || c.Y < 0 || c.Y >= height {
+			return fmt.Errorf("fabric: spec codec: PE %v outside %dx%d grid", c, width, height)
+		}
+		pe := out.PE(c)
+		if ni := d.uvarint(); ni > 0 {
+			if ni > uint64(d.remaining())/4 {
+				return fmt.Errorf("fabric: spec codec: PE %v init truncated", c)
+			}
+			pe.Init = make([]float32, ni)
+			for j := range pe.Init {
+				pe.Init[j] = d.f32()
+			}
+		}
+		nops := d.uvarint()
+		if d.err == nil && nops > 0 {
+			if nops > uint64(d.remaining()) { // each op is ≥ 9 bytes; cheap sanity bound
+				return fmt.Errorf("fabric: spec codec: PE %v ops truncated", c)
+			}
+			pe.Ops = make([]Op, nops)
+			for j := range pe.Ops {
+				pe.Ops[j] = Op{
+					Kind:     OpKind(d.byte()),
+					Color:    mesh.Color(d.byte()),
+					OutColor: mesh.Color(d.byte()),
+					N:        int(d.varint()),
+					Off:      int(d.varint()),
+					N2:       int(d.varint()),
+					Off2:     int(d.varint()),
+					Slot:     int(d.varint()),
+					Reduce:   ReduceOp(d.byte()),
+				}
+			}
+		}
+		ncolors := int(d.uvarint())
+		for j := 0; j < ncolors && d.err == nil; j++ {
+			col := mesh.Color(d.byte())
+			ncfgs := d.uvarint()
+			if d.err != nil || ncfgs > uint64(d.remaining()) {
+				return fmt.Errorf("fabric: spec codec: PE %v configs truncated", c)
+			}
+			cfgs := make([]RouterConfig, ncfgs)
+			for k := range cfgs {
+				cfgs[k] = RouterConfig{
+					Accept:  mesh.Direction(d.byte()),
+					Forward: mesh.DirSet(d.byte()),
+					Times:   int(d.varint()),
+				}
+			}
+			if pe.Configs == nil {
+				pe.Configs = make(map[mesh.Color][]RouterConfig, ncolors)
+			}
+			pe.Configs[col] = cfgs
+		}
+		pe.ClockSlots = int(d.varint())
+		if d.err != nil {
+			return fmt.Errorf("fabric: spec codec: PE %v: %v", c, d.err)
+		}
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("fabric: spec codec: %d trailing bytes", d.remaining())
+	}
+	*s = *out
+	return nil
+}
+
+// wireEnc appends primitive values to a growing buffer.
+type wireEnc struct {
+	buf []byte
+}
+
+func (e *wireEnc) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *wireEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *wireEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *wireEnc) f32(v float32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(v))
+}
+
+// wireDec reads primitive values, latching the first error so callers can
+// decode a run of fields and check once.
+type wireDec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *wireDec) remaining() int { return len(d.buf) - d.off }
+
+func (d *wireDec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated at offset %d", d.off)
+	}
+}
+
+func (d *wireDec) byte() byte {
+	if d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *wireDec) uvarint() uint64 {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDec) varint() int64 {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDec) f32() float32 {
+	if d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	return v
+}

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// codecSpec builds a small spec exercising every encoded field: init
+// vectors, all op scalar fields, multi-color multi-config routers, and
+// clock slots.
+func codecSpec() *Spec {
+	s := NewSpec(3, 2)
+	a := s.PE(mesh.Coord{X: 0, Y: 0})
+	a.Init = []float32{1.5, -2.25, 3.125}
+	a.Ops = []Op{
+		{Kind: OpSend, Color: 2, N: 3},
+		{Kind: OpSendRecvReduce, Color: 1, OutColor: 2, N: 2, Off: 1, N2: 2, Off2: 0, Reduce: OpMax},
+		{Kind: OpSampleClock, Slot: 1},
+	}
+	a.ClockSlots = 2
+	a.AddConfig(2, RouterConfig{Accept: mesh.Ramp, Forward: mesh.Dirs(mesh.East), Times: 1})
+	a.AddConfig(2, RouterConfig{Accept: mesh.East, Forward: mesh.Dirs(mesh.Ramp)})
+	a.AddConfig(1, RouterConfig{Accept: mesh.East, Forward: mesh.Dirs(mesh.Ramp)})
+
+	b := s.PE(mesh.Coord{X: 1, Y: 0})
+	b.Ops = []Op{{Kind: OpRecvReduce, Color: 2, N: 3, Reduce: OpSum}}
+	b.AddConfig(2, RouterConfig{Accept: mesh.West, Forward: mesh.Dirs(mesh.Ramp, mesh.East)})
+	b.AddConfig(1, RouterConfig{Accept: mesh.Ramp, Forward: mesh.Dirs(mesh.West)})
+
+	c := s.PE(mesh.Coord{X: 2, Y: 1})
+	c.Ops = []Op{{Kind: OpBusyWrite, N: 7}}
+	return s
+}
+
+func TestSpecCodecRoundTrip(t *testing.T) {
+	s := codecSpec()
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("encoding is not deterministic")
+	}
+	var got Spec
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != s.Width || got.Height != s.Height || len(got.PEs) != len(s.PEs) {
+		t.Fatalf("decoded %dx%d with %d PEs, want %dx%d with %d",
+			got.Width, got.Height, len(got.PEs), s.Width, s.Height, len(s.PEs))
+	}
+	for coord, pe := range s.PEs {
+		d := got.PEs[coord]
+		if d == nil {
+			t.Fatalf("PE %v missing after decode", coord)
+		}
+		if !reflect.DeepEqual(pe.Init, d.Init) || !reflect.DeepEqual(pe.Ops, d.Ops) ||
+			pe.ClockSlots != d.ClockSlots || !reflect.DeepEqual(pe.Configs, d.Configs) {
+			t.Fatalf("PE %v decoded differently:\n got %+v\nwant %+v", coord, d, pe)
+		}
+	}
+	// The canonical form is a fixed point: re-encoding the decoded spec
+	// reproduces the bytes.
+	redata, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, redata) {
+		t.Fatal("decode→encode is not byte-identical")
+	}
+}
+
+func TestSpecCodecRejectsCorruption(t *testing.T) {
+	data, err := codecSpec().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown version byte.
+	bad := append([]byte(nil), data...)
+	bad[0] = 99
+	var s Spec
+	if err := s.UnmarshalBinary(bad); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+	// Truncation at every prefix length must error, not panic.
+	for n := 0; n < len(data); n++ {
+		var s Spec
+		if err := s.UnmarshalBinary(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing garbage is rejected.
+	var s2 Spec
+	if err := s2.UnmarshalBinary(append(append([]byte(nil), data...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

@@ -9,28 +9,53 @@ import (
 const DefaultCacheCapacity = 128
 
 // CacheStats reports a cache's accounting: Hits counts lookups served
-// from a resident or in-flight plan, Misses the lookups that triggered a
-// compile, Evictions the plans dropped at capacity, and Size the resident
-// plan count.
+// from a resident or in-flight plan, Misses the lookups that left the
+// cache (store load or compile), Evictions the plans dropped at capacity,
+// and Size the resident plan count. When a store is attached, StoreHits
+// counts the misses that were satisfied by decoding a stored plan instead
+// of compiling, and StoreErrors the store operations (load or write-
+// through save) that failed — store failures never fail a lookup, they
+// just fall back to the compiler.
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Size      int
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	StoreHits   int64
+	StoreErrors int64
+	Size        int
+}
+
+// PlanStore is plan persistence as the cache and session consume it: a
+// durable keyed collection of encoded plans. The concrete implementation
+// is internal/planstore.Store (a content-addressed directory of blobs);
+// the interface lives here so the plan subsystem stays free of the
+// persistence dependency and tests can substitute in-memory stores.
+type PlanStore interface {
+	// Load returns the stored plan for key, with ok=false (and no error)
+	// when the store has no entry. An error means an entry existed but
+	// could not be used (unreadable, corrupt, version-incompatible).
+	Load(key Key) (*Plan, bool, error)
+	// Save persists a compiled plan, overwriting any entry with the same
+	// key.
+	Save(p *Plan) error
+	// Keys lists the keys of every stored plan.
+	Keys() []Key
 }
 
 // Cache is a content-keyed LRU of compiled plans. Lookups for the same
 // key that race an in-flight compile coalesce onto it (and count as hits)
-// instead of compiling twice.
+// instead of compiling twice. With a store attached (SetStore), misses
+// try the store before the compiler and freshly compiled plans are
+// written through, so a serving process transparently accumulates and
+// reuses a durable plan warehouse.
 type Cache struct {
 	mu        sync.Mutex
 	capacity  int
 	entries   map[Key]*list.Element
 	lru       list.List // front = most recently used; values are *Plan
 	compiling map[Key]*inflight
-	hits      int64
-	misses    int64
-	evictions int64
+	store     PlanStore
+	stats     CacheStats
 }
 
 type inflight struct {
@@ -52,29 +77,73 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
-// Get returns the plan for req, compiling and inserting it on a miss.
+// SetStore attaches (or, with nil, detaches) a plan store. Subsequent
+// misses read through it and subsequent compiles write through to it.
+func (c *Cache) SetStore(ps PlanStore) {
+	c.mu.Lock()
+	c.store = ps
+	c.mu.Unlock()
+}
+
+// Get returns the plan for req, loading it from the attached store or
+// compiling it on a miss.
 func (c *Cache) Get(req Request) (*Plan, error) {
 	key := KeyOf(req)
+	p, _, err := c.acquire(key, true, func() (*Plan, error) {
+		ps := c.storeHandle()
+		if ps != nil {
+			switch p, ok, err := ps.Load(key); {
+			case err != nil:
+				c.noteStoreError()
+			case ok:
+				c.noteStoreHit()
+				return p, nil
+			}
+		}
+		p, err := Compile(req)
+		if err == nil && ps != nil {
+			if serr := ps.Save(p); serr != nil {
+				c.noteStoreError()
+			}
+		}
+		return p, err
+	})
+	return p, err
+}
+
+// acquire returns the plan for key: residents are served directly,
+// lookups racing an in-flight materialisation coalesce onto it, and
+// otherwise fetch runs (outside the lock, under the in-flight slot) and
+// its result is inserted. count selects whether the lookup participates
+// in the hit/miss accounting — serving lookups do, warm-up passes do not.
+// The returned bool reports whether fetch ran.
+func (c *Cache) acquire(key Key, count bool, fetch func() (*Plan, error)) (*Plan, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
-		c.hits++
+		if count {
+			c.stats.Hits++
+		}
 		p := el.Value.(*Plan)
 		c.mu.Unlock()
-		return p, nil
+		return p, false, nil
 	}
 	if fl, ok := c.compiling[key]; ok {
-		c.hits++
+		if count {
+			c.stats.Hits++
+		}
 		c.mu.Unlock()
 		<-fl.done
-		return fl.plan, fl.err
+		return fl.plan, false, fl.err
 	}
-	c.misses++
+	if count {
+		c.stats.Misses++
+	}
 	fl := &inflight{done: make(chan struct{})}
 	c.compiling[key] = fl
 	c.mu.Unlock()
 
-	fl.plan, fl.err = Compile(req)
+	fl.plan, fl.err = fetch()
 
 	c.mu.Lock()
 	delete(c.compiling, key)
@@ -83,7 +152,13 @@ func (c *Cache) Get(req Request) (*Plan, error) {
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return fl.plan, fl.err
+	return fl.plan, true, fl.err
+}
+
+func (c *Cache) storeHandle() PlanStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store
 }
 
 // Peek reports whether a plan for req is resident, without compiling or
@@ -96,6 +171,29 @@ func (c *Cache) Peek(req Request) (*Plan, bool) {
 		return nil, false
 	}
 	return el.Value.(*Plan), true
+}
+
+// Plans snapshots the resident plans, most recently used first.
+func (c *Cache) Plans() []*Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Plan, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Plan))
+	}
+	return out
+}
+
+func (c *Cache) noteStoreHit() {
+	c.mu.Lock()
+	c.stats.StoreHits++
+	c.mu.Unlock()
+}
+
+func (c *Cache) noteStoreError() {
+	c.mu.Lock()
+	c.stats.StoreErrors++
+	c.mu.Unlock()
 }
 
 // insert adds a plan under key, evicting from the cold end at capacity.
@@ -111,7 +209,7 @@ func (c *Cache) insert(key Key, p *Plan) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.entries, back.Value.(*Plan).Key)
-		c.evictions++
+		c.stats.Evictions++
 	}
 }
 
@@ -119,12 +217,9 @@ func (c *Cache) insert(key Key, p *Plan) {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Size:      c.lru.Len(),
-	}
+	st := c.stats
+	st.Size = c.lru.Len()
+	return st
 }
 
 // Capacity returns the maximum resident plan count.

@@ -1,0 +1,60 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/fabric"
+)
+
+// KeyEncodingVersion tags the textual key form. It only changes when the
+// rendering below changes incompatibly; bumping it deliberately orphans
+// every stored plan, which is the point — a silent drift in the encoding
+// would orphan them accidentally.
+const KeyEncodingVersion = 1
+
+// String renders the key in its pinned, versioned textual form — the form
+// the plan store's manifest indexes by. Every field of the key appears;
+// the thermal rate uses hexadecimal float notation so the rendering is
+// exact and locale-free. TestKeyEncodingPinned fails if this drifts, which
+// would make stored plans silently miss after an upgrade.
+func (k Key) String() string {
+	return fmt.Sprintf("k%d;%s;alg=%s;alg2d=%s;p=%d;w=%d;h=%d;b=%d;op=%s;tr=%d;qcap=%d;maxcyc=%d;skew=%d;noop=%s;act=%d;seed=%d;shards=%d",
+		KeyEncodingVersion, k.Kind, k.Alg, k.Alg2D, k.P, k.Width, k.Height, k.B, k.Op,
+		k.Opt.TR, k.Opt.QueueCap, k.Opt.MaxCycles, k.Opt.ClockSkewMax,
+		strconv.FormatFloat(k.Opt.ThermalNoopRate, 'x', -1, 64),
+		k.Opt.TaskActivation, k.Opt.Seed, k.Opt.Shards)
+}
+
+// Request reconstructs a compile request from a canonical key, such that
+// KeyOf(k.Request()) == k. This is how Session.Warm turns the keys listed
+// by a store back into compilable (and therefore loadable) requests.
+func (k Key) Request() Request {
+	tr := k.Opt.TR
+	if tr == 0 {
+		// Canonical TR 0 means a literal zero-latency ramp, which the
+		// Options field spells as a negative value (0 selects the WSE-2
+		// default).
+		tr = -1
+	}
+	return Request{
+		Kind:   k.Kind,
+		Alg:    k.Alg,
+		Alg2D:  k.Alg2D,
+		P:      k.P,
+		Width:  k.Width,
+		Height: k.Height,
+		B:      k.B,
+		Op:     k.Op,
+		Opt: fabric.Options{
+			TR:              tr,
+			QueueCap:        k.Opt.QueueCap,
+			MaxCycles:       k.Opt.MaxCycles,
+			ClockSkewMax:    k.Opt.ClockSkewMax,
+			ThermalNoopRate: k.Opt.ThermalNoopRate,
+			TaskActivation:  k.Opt.TaskActivation,
+			Seed:            k.Opt.Seed,
+			Shards:          k.Opt.Shards,
+		},
+	}
+}

@@ -88,9 +88,17 @@ type Key struct {
 	Opt    OptKey
 }
 
-// KeyOf derives the content key of a request.
+// KeyOf derives the content key of a request. The key is fully canonical:
+// defaulted options are resolved to their concrete values (via
+// fabric.Options.Canonical) and fields the kind never consults — the 2D
+// algorithm of a 1D reduce, the row length of a 2D grid, the algorithm of
+// an algorithm-free broadcast — are zeroed, so two requests that compile
+// to the same program share one key. Canonical keys are also what the
+// plan store indexes by on disk, so this derivation must stay stable
+// across releases; TestKeyEncodingPinned pins it.
 func KeyOf(req Request) Key {
-	return Key{
+	opt := req.Opt.Canonical()
+	k := Key{
 		Kind:   req.Kind,
 		Alg:    req.Alg,
 		Alg2D:  req.Alg2D,
@@ -100,16 +108,29 @@ func KeyOf(req Request) Key {
 		B:      req.B,
 		Op:     req.Op,
 		Opt: OptKey{
-			TR:              core.Params(req.Opt).TR,
-			QueueCap:        req.Opt.QueueCap,
-			MaxCycles:       req.Opt.MaxCycles,
-			ClockSkewMax:    req.Opt.ClockSkewMax,
-			ThermalNoopRate: req.Opt.ThermalNoopRate,
-			TaskActivation:  req.Opt.TaskActivation,
-			Seed:            req.Opt.Seed,
-			Shards:          req.Opt.Shards,
+			TR:              opt.TR,
+			QueueCap:        opt.QueueCap,
+			MaxCycles:       opt.MaxCycles,
+			ClockSkewMax:    opt.ClockSkewMax,
+			ThermalNoopRate: opt.ThermalNoopRate,
+			TaskActivation:  opt.TaskActivation,
+			Seed:            opt.Seed,
+			Shards:          opt.Shards,
 		},
 	}
+	switch req.Kind {
+	case Reduce1D, AllReduce1D, AllReduceMidRoot:
+		k.Alg2D, k.Width, k.Height = "", 0, 0
+	case Reduce2D, AllReduce2D:
+		k.Alg, k.P = "", 0
+	case Broadcast2D:
+		k.Alg, k.Alg2D, k.P, k.Op = "", "", 0, 0
+	case ReduceScatter:
+		k.Alg, k.Alg2D, k.Width, k.Height = "", "", 0, 0
+	case Broadcast1D, Scatter, Gather, AllGather:
+		k.Alg, k.Alg2D, k.Width, k.Height, k.Op = "", "", 0, 0, 0
+	}
+	return k
 }
 
 // Plan is a compiled collective: an immutable fabric program plus the
@@ -179,6 +200,12 @@ func Compile(req Request) (*Plan, error) {
 	key := KeyOf(req)
 	req = req.resolve()
 	tr := req.tr()
+	// Plans carry canonical options (defaults resolved) so compiling the
+	// same logical request in two processes yields byte-identical encoded
+	// plans; the Tracer is a debug attachment, not part of the canonical
+	// form, and rides along unchanged.
+	opt := req.Opt.Canonical()
+	opt.Tracer = req.Opt.Tracer
 	p := &Plan{
 		Key:    key,
 		Kind:   req.Kind,
@@ -189,7 +216,7 @@ func Compile(req Request) (*Plan, error) {
 		Op:     req.Op,
 		Alg:    req.Alg,
 		Alg2D:  req.Alg2D,
-		Opt:    req.Opt,
+		Opt:    opt,
 	}
 	if req.B < 1 {
 		return nil, fmt.Errorf("plan: vector length %d", req.B)
@@ -429,6 +456,53 @@ func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
 type pooledFabric struct {
 	f *fabric.Fabric
 	s *fabric.Spec
+}
+
+// zeroInputs synthesises zero-valued inputs of the plan's arity, for
+// constructing a fabric before any real request arrives.
+func (p *Plan) zeroInputs() [][]float32 {
+	switch p.Kind {
+	case Broadcast1D, Broadcast2D, Scatter:
+		return [][]float32{make([]float32, p.B)}
+	case Gather, AllGather:
+		_, sz := core.Chunks(p.P, p.B)
+		out := make([][]float32, p.P)
+		for j := range out {
+			out[j] = make([]float32, sz[j])
+		}
+		return out
+	case Reduce2D, AllReduce2D:
+		out := make([][]float32, p.Width*p.Height)
+		for i := range out {
+			out[i] = make([]float32, p.B)
+		}
+		return out
+	default:
+		out := make([][]float32, p.P)
+		for i := range out {
+			out[i] = make([]float32, p.B)
+		}
+		return out
+	}
+}
+
+// Prewarm stocks the plan's instance pool with one ready fabric, so the
+// first replay resets it instead of paying fabric construction — the
+// finishing touch of a warm start: with the plan decoded from a store and
+// the fabric pre-built, request one runs at steady-state replay latency.
+// A replay that races the prewarm simply builds its own instance, exactly
+// as a pool miss always does.
+func (p *Plan) Prewarm() error {
+	s, err := p.bind(p.zeroInputs())
+	if err != nil {
+		return err
+	}
+	f, err := fabric.New(s, p.Opt)
+	if err != nil {
+		return err
+	}
+	p.pool.Put(&pooledFabric{f: f, s: s})
+	return nil
 }
 
 // ExecuteUnpooled replays the plan on a freshly allocated fabric,

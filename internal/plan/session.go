@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"errors"
 	"runtime"
 
 	"repro/internal/core"
@@ -52,3 +53,100 @@ func (s *Session) Stats() CacheStats { return s.cache.Stats() }
 
 // Workers returns the worker-pool size.
 func (s *Session) Workers() int { return cap(s.slots) }
+
+// SetStore attaches a plan store to the session's cache: misses read
+// through it and compiles write through to it. Call before taking
+// traffic, or concurrently — attachment is atomic with respect to
+// lookups.
+func (s *Session) SetStore(ps PlanStore) { s.cache.SetStore(ps) }
+
+// WarmStats reports what a Warm pass did: how many plans it decoded from
+// the store, how many it had to compile (and, when a store was given,
+// saved back), and how many were already resident and left untouched.
+type WarmStats struct {
+	Loaded   int
+	Compiled int
+	Resident int
+}
+
+// Warm pre-populates the session's plan cache before it takes traffic,
+// so no request pays a compile on the serving path. Every requested shape
+// is loaded from ps when stored there, compiled otherwise; plans Warm had
+// to compile are saved back to ps, which is also how a shape list is
+// compiled into a store ahead of deployment. A nil reqs warms every plan
+// ps holds. Warm does not disturb the hit/miss accounting (its loads and
+// compiles are reported in WarmStats, not CacheStats) and is safe to run
+// while the session serves: it coalesces with in-flight request compiles
+// for the same key rather than duplicating them, and a shape that fails
+// to warm is recorded in the joined error and skipped, never blocking the
+// rest of the list.
+func (s *Session) Warm(ps PlanStore, reqs []Request) (WarmStats, error) {
+	var st WarmStats
+	var errs []error
+	if reqs == nil && ps != nil {
+		for _, k := range ps.Keys() {
+			reqs = append(reqs, k.Request())
+		}
+	}
+	for _, req := range reqs {
+		key := KeyOf(req)
+		var loaded bool
+		_, fetched, err := s.cache.acquire(key, false, func() (*Plan, error) {
+			var p *Plan
+			if ps != nil {
+				switch lp, ok, lerr := ps.Load(key); {
+				case lerr != nil:
+					errs = append(errs, lerr)
+				case ok:
+					p, loaded = lp, true
+				}
+			}
+			if p == nil {
+				cp, cerr := Compile(req)
+				if cerr != nil {
+					return nil, cerr
+				}
+				p = cp
+				if ps != nil {
+					if serr := ps.Save(p); serr != nil {
+						errs = append(errs, serr)
+					}
+				}
+			}
+			// Pre-build one fabric instance per warmed plan: the first
+			// real request then resets a pooled simulator instead of
+			// constructing one, landing at steady-state replay latency.
+			if perr := p.Prewarm(); perr != nil {
+				return nil, perr
+			}
+			return p, nil
+		})
+		switch {
+		case err != nil:
+			errs = append(errs, err)
+		case !fetched:
+			st.Resident++
+		case loaded:
+			st.Loaded++
+		default:
+			st.Compiled++
+		}
+	}
+	return st, errors.Join(errs...)
+}
+
+// Export saves every resident plan to ps, returning how many were
+// written. Together with Warm this is the deployment cycle: a staging
+// process compiles its workload and Exports, the serving fleet Warms.
+func (s *Session) Export(ps PlanStore) (int, error) {
+	n := 0
+	var errs []error
+	for _, p := range s.cache.Plans() {
+		if err := ps.Save(p); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}

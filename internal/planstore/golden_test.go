@@ -1,0 +1,101 @@
+package planstore
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden encoded plans under testdata/")
+
+// goldenCases fixes one small shape per collective kind, with concrete
+// (non-Auto) algorithms so the stored program does not shift when the
+// performance model's selections improve.
+func goldenCases() []plan.Request {
+	return []plan.Request{
+		{Kind: plan.Reduce1D, Alg: core.Chain, P: 5, B: 3, Op: fabric.OpSum},
+		{Kind: plan.AllReduce1D, Alg: core.Tree, P: 6, B: 2, Op: fabric.OpSum},
+		{Kind: plan.Broadcast1D, P: 4, B: 3},
+		{Kind: plan.Reduce2D, Alg2D: core.XYChain, Width: 3, Height: 2, B: 2, Op: fabric.OpSum},
+		{Kind: plan.AllReduce2D, Alg2D: core.XYTree, Width: 3, Height: 3, B: 2, Op: fabric.OpSum},
+		{Kind: plan.Broadcast2D, Width: 3, Height: 2, B: 3},
+		{Kind: plan.Scatter, P: 4, B: 6},
+		{Kind: plan.Gather, P: 4, B: 6},
+		{Kind: plan.ReduceScatter, P: 4, B: 8, Op: fabric.OpSum},
+		{Kind: plan.AllGather, P: 4, B: 6},
+		{Kind: plan.AllReduceMidRoot, Alg: core.Chain, P: 5, B: 3, Op: fabric.OpSum},
+	}
+}
+
+func goldenPath(kind plan.Kind) string {
+	return filepath.Join("testdata", string(kind)+blobExt)
+}
+
+// TestGoldenPlans is the forward-compatibility guard of the codec: one
+// committed encoded plan per collective kind must keep decoding, keep its
+// key derivation (or stored plans would silently miss after an upgrade),
+// and keep producing correct collective results. Run with -update after a
+// deliberate format-version bump to regenerate the files.
+func TestGoldenPlans(t *testing.T) {
+	for _, req := range goldenCases() {
+		req := req
+		t.Run(string(req.Kind), func(t *testing.T) {
+			path := goldenPath(req.Kind)
+			if *updateGolden {
+				p, err := plan.Compile(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, _, err := Encode(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/planstore -run TestGoldenPlans -update` to generate)", err)
+			}
+			decoded, _, err := Decode(data)
+			if err != nil {
+				t.Fatalf("golden plan no longer decodes — bump FormatVersion and regenerate deliberately, do not ship silently: %v", err)
+			}
+			// The stored key must still be the key this build derives for
+			// the same request, or lookups would miss every stored plan.
+			if want := plan.KeyOf(req); decoded.Key != want {
+				t.Fatalf("key derivation drifted:\n stored %v\n derived %v", decoded.Key, want)
+			}
+			// The decoded program must still execute and agree with a
+			// fresh compile of the same concrete request on the result
+			// contents (cycle counts may legitimately shift when engine
+			// semantics are retuned; results may not).
+			fresh, err := plan.Compile(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := inputsFor(decoded)
+			got, err := decoded.Execute(inputs)
+			if err != nil {
+				t.Fatalf("golden plan no longer executes: %v", err)
+			}
+			want, err := fresh.Execute(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Root, want.Root) || !reflect.DeepEqual(got.All, want.All) {
+				t.Fatalf("golden plan results diverged:\n got %v\nwant %v", got.Root, want.Root)
+			}
+		})
+	}
+}

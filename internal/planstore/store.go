@@ -1,0 +1,296 @@
+package planstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// Store layout inside its directory:
+//
+//	plans/<sha256 hex>.plan   encoded plans, named by content address
+//	quarantine/               blobs that failed integrity checks on load
+//	index.tsv                 manifest: "<hash>\t<key string>" per line
+//
+// The blobs are the source of truth: Open rebuilds the in-memory index by
+// reading each blob's key prefix (DecodeKey), so a lost or stale manifest
+// never loses plans. The manifest is rewritten after every mutation — it
+// gives humans and tooling a greppable inventory and records the pinned
+// key encoding the store is addressed by.
+const (
+	plansDir      = "plans"
+	quarantineDir = "quarantine"
+	manifestName  = "index.tsv"
+	blobExt       = ".plan"
+)
+
+// Store is a content-addressed collection of encoded plans in a
+// directory. All methods are safe for concurrent use; writes are atomic
+// (temp file + rename), loads verify the content hash before trusting a
+// byte, and corrupt entries are quarantined rather than served or
+// silently deleted.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[plan.Key]string // key -> content hash (blob basename)
+}
+
+// Open opens (creating if needed) a plan store rooted at dir and rebuilds
+// its index from the blobs on disk. Blobs that cannot be indexed —
+// unreadable, foreign format, future version — are quarantined.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, plansDir), filepath.Join(dir, quarantineDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("planstore: %w", err)
+		}
+	}
+	s := &Store{dir: dir, index: make(map[plan.Key]string)}
+	entries, err := os.ReadDir(filepath.Join(dir, plansDir))
+	if err != nil {
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, blobExt) {
+			continue
+		}
+		path := filepath.Join(dir, plansDir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // unreadable now; Load will quarantine it if asked for
+		}
+		key, err := DecodeKey(data)
+		if err != nil {
+			s.quarantine(name)
+			continue
+		}
+		s.index[key] = strings.TrimSuffix(name, blobExt)
+	}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed plans.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys lists the keys of every stored plan, in no particular order.
+func (s *Store) Keys() []plan.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]plan.Key, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// HashOf returns the content address the store holds for key.
+func (s *Store) HashOf(key plan.Key) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.index[key]
+	return h, ok
+}
+
+// Save encodes and persists a plan, overwriting any entry under the same
+// key. The blob write is atomic: the encoding goes to a temp file in the
+// store and is renamed onto its content address, so a crash mid-write
+// leaves either the old state or the new, never a torn blob.
+func (s *Store) Save(p *plan.Plan) error {
+	_, err := s.Put(p)
+	return err
+}
+
+// Put is Save returning the plan's content address.
+func (s *Store) Put(p *plan.Plan) (string, error) {
+	data, hash, err := Encode(p)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, existed := s.index[p.Key]
+	if existed && old == hash {
+		// Identical content already indexed — but only skip the write if
+		// the blob really is on disk, so a Save after an out-of-band
+		// deletion restores durability instead of reporting stale success.
+		if _, err := os.Stat(s.blobPath(hash)); err == nil {
+			return hash, nil
+		}
+	}
+	if err := s.writeBlob(hash, data); err != nil {
+		return "", err
+	}
+	s.index[p.Key] = hash
+	if existed && old != hash {
+		// The key moved to new content (e.g. the compiler changed between
+		// releases); drop the orphaned old blob.
+		os.Remove(s.blobPath(old))
+	}
+	return hash, s.writeManifest()
+}
+
+// Load reads, verifies and decodes the plan stored under key. A missing
+// entry returns ok=false with no error. An entry that fails integrity
+// verification or decoding is moved to the quarantine directory, removed
+// from the index, and reported as an error — the caller falls back to
+// compiling, and the operator can inspect the quarantined blob.
+func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
+	s.mu.Lock()
+	hash, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(s.blobPath(hash))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Blob vanished under us (manual deletion); drop the entry.
+			s.drop(key, hash)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("planstore: %w", err)
+	}
+	p, gotHash, err := Decode(data)
+	if err != nil {
+		s.quarantineEntry(key, hash)
+		return nil, false, fmt.Errorf("planstore: %s quarantined: %w", hash+blobExt, err)
+	}
+	if gotHash != hash {
+		// The payload verifies against its own header but lives under the
+		// wrong address — a swapped or misfiled blob.
+		s.quarantineEntry(key, hash)
+		return nil, false, fmt.Errorf("planstore: blob %s decodes to address %s: quarantined", hash, gotHash)
+	}
+	if p.Key != key {
+		s.quarantineEntry(key, hash)
+		return nil, false, fmt.Errorf("planstore: blob %s holds key %v, indexed under %v: quarantined", hash, p.Key, key)
+	}
+	return p, true, nil
+}
+
+// Verify loads and checks every indexed plan, quarantining the ones that
+// fail. It returns the number of healthy plans and the content addresses
+// that were quarantined.
+func (s *Store) Verify() (ok int, quarantined []string, err error) {
+	var errs []error
+	for _, key := range s.Keys() {
+		s.mu.Lock()
+		hash, present := s.index[key]
+		s.mu.Unlock()
+		if !present {
+			continue
+		}
+		if _, loaded, lerr := s.Load(key); lerr != nil {
+			quarantined = append(quarantined, hash)
+			errs = append(errs, lerr)
+		} else if loaded {
+			ok++
+		}
+	}
+	return ok, quarantined, errors.Join(errs...)
+}
+
+func (s *Store) blobPath(hash string) string {
+	return filepath.Join(s.dir, plansDir, hash+blobExt)
+}
+
+// writeBlob writes data to the blob for hash via temp file + rename.
+// The caller holds s.mu.
+func (s *Store) writeBlob(hash string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, plansDir), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("planstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("planstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("planstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.blobPath(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("planstore: %w", err)
+	}
+	return nil
+}
+
+// drop removes an index entry whose blob is gone.
+func (s *Store) drop(key plan.Key, hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.index[key] == hash {
+		delete(s.index, key)
+		s.writeManifest()
+	}
+}
+
+// quarantineEntry moves a failing blob into quarantine/ and drops its
+// index entry.
+func (s *Store) quarantineEntry(key plan.Key, hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantine(hash + blobExt)
+	if s.index[key] == hash {
+		delete(s.index, key)
+		s.writeManifest()
+	}
+}
+
+// quarantine moves plans/<name> to quarantine/<name>. The caller holds
+// s.mu (or, during Open, has exclusive access).
+func (s *Store) quarantine(name string) {
+	os.Rename(filepath.Join(s.dir, plansDir, name), filepath.Join(s.dir, quarantineDir, name))
+}
+
+// writeManifest rewrites index.tsv atomically, sorted by key string so
+// the manifest is diff-stable. The caller holds s.mu (or, during Open,
+// has exclusive access).
+func (s *Store) writeManifest() error {
+	lines := make([]string, 0, len(s.index))
+	for k, h := range s.index {
+		lines = append(lines, h+"\t"+k.String()+"\n")
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		return lines[i][strings.IndexByte(lines[i], '\t'):] < lines[j][strings.IndexByte(lines[j], '\t'):]
+	})
+	tmp, err := os.CreateTemp(s.dir, ".tmp-manifest-*")
+	if err != nil {
+		return fmt.Errorf("planstore: %w", err)
+	}
+	for _, l := range lines {
+		if _, err := tmp.WriteString(l); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("planstore: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("planstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, manifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("planstore: %w", err)
+	}
+	return nil
+}

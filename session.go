@@ -30,6 +30,13 @@ type SessionConfig struct {
 	// Workers bounds the number of concurrently executing fabric
 	// simulations (<= 0 selects GOMAXPROCS).
 	Workers int
+	// Store, when non-nil, attaches a plan store in write-through mode:
+	// cache misses first try to decode the stored plan (no compile), and
+	// plans the session does compile are persisted back, so a fleet of
+	// sessions over one store compiles each distinct shape once ever, not
+	// once per process. Store failures never fail a request — the session
+	// falls back to compiling — and are counted in PlanStats.StoreErrors.
+	Store *PlanStore
 }
 
 // DefaultSessionMaxCycles is the per-run cycle cap a Session applies when
@@ -57,10 +64,14 @@ func NewSession(cfg SessionConfig) *Session {
 	if cfg.Options.MaxCycles == 0 {
 		cfg.Options.MaxCycles = DefaultSessionMaxCycles
 	}
-	return &Session{
+	s := &Session{
 		opt: cfg.Options,
 		s:   plan.NewSession(cfg.PlanCacheCapacity, cfg.Workers),
 	}
+	if cfg.Store != nil {
+		s.s.SetStore(cfg.Store)
+	}
+	return s
 }
 
 // PlanStats snapshots the session's plan-cache accounting.

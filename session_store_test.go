@@ -1,0 +1,197 @@
+package wse
+
+// Integration tests of plan persistence through the public surface: the
+// export → warm deployment cycle, transparent read/write-through via
+// SessionConfig.Store, and corruption handling end to end.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// storeShapes is a small mixed workload: 1D, 2D and chunked kinds.
+func storeShapes() []Shape {
+	return []Shape{
+		{Kind: KindReduce, Alg: Auto, P: 32, B: 16, Op: Sum},
+		{Kind: KindAllReduce2D, Alg2D: Auto2D, Width: 6, Height: 4, B: 8, Op: Sum},
+		{Kind: KindAllGather, P: 8, B: 24},
+	}
+}
+
+func runStoreShape(t *testing.T, s *Session, sh Shape) *Report {
+	t.Helper()
+	ones := func(n, b int) [][]float32 {
+		out := make([][]float32, n)
+		for i := range out {
+			out[i] = make([]float32, b)
+			for j := range out[i] {
+				out[i][j] = 1
+			}
+		}
+		return out
+	}
+	var rep *Report
+	var err error
+	switch sh.Kind {
+	case KindReduce:
+		rep, err = s.Reduce(ones(sh.P, sh.B), sh.Alg, sh.Op)
+	case KindAllReduce2D:
+		rep, err = s.AllReduce2D(ones(sh.Width*sh.Height, sh.B), sh.Width, sh.Height, sh.Alg2D, sh.Op)
+	case KindAllGather:
+		chunks := ones(sh.P, 0)
+		q, r := sh.B/sh.P, sh.B%sh.P
+		for i := range chunks {
+			n := q
+			if i < r {
+				n++
+			}
+			chunks[i] = make([]float32, n)
+			for j := range chunks[i] {
+				chunks[i][j] = 1
+			}
+		}
+		rep, err = s.AllGather(chunks)
+	default:
+		t.Fatalf("unhandled shape kind %q", sh.Kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestWarmStartServesWithoutCompiling is the deployment cycle end to end:
+// a staging session compiles a shape list into a store, a fresh "serving
+// process" warms from it, and its first requests are bit-identical to the
+// staging session's — with zero cache misses, i.e. no compile on the
+// serving path.
+func TestWarmStartServesWithoutCompiling(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenPlanStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := NewSession(SessionConfig{})
+	st, err := stage.Warm(store, storeShapes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compiled != len(storeShapes()) || store.Len() != len(storeShapes()) {
+		t.Fatalf("staging warm: %+v, store holds %d", st, store.Len())
+	}
+	want := make([]*Report, len(storeShapes()))
+	for i, sh := range storeShapes() {
+		want[i] = runStoreShape(t, stage, sh)
+	}
+
+	// A new process: fresh store handle, fresh session.
+	store2, err := OpenPlanStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := NewSession(SessionConfig{})
+	if st, err = serve.Warm(store2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Loaded != len(storeShapes()) || st.Compiled != 0 {
+		t.Fatalf("serving warm should decode everything: %+v", st)
+	}
+	for i, sh := range storeShapes() {
+		got := runStoreShape(t, serve, sh)
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("shape %d replays differently after warm-start", i)
+		}
+	}
+	if ps := serve.PlanStats(); ps.Misses != 0 {
+		t.Fatalf("warmed session compiled on the serving path: %+v", ps)
+	}
+}
+
+// TestSessionStoreWriteThrough checks SessionConfig.Store: serving
+// traffic populates the store as a side effect, and the next session
+// decodes instead of compiling, transparently.
+func TestSessionStoreWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenPlanStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := storeShapes()[0]
+
+	first := NewSession(SessionConfig{Store: store})
+	want := runStoreShape(t, first, sh)
+	if store.Len() != 1 {
+		t.Fatalf("write-through stored %d plans, want 1", store.Len())
+	}
+	if ps := first.PlanStats(); ps.StoreErrors != 0 {
+		t.Fatalf("store errors during write-through: %+v", ps)
+	}
+
+	second := NewSession(SessionConfig{Store: store})
+	got := runStoreShape(t, second, sh)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("store-loaded plan replays differently")
+	}
+	if ps := second.PlanStats(); ps.StoreHits != 1 {
+		t.Fatalf("second session did not load from the store: %+v", ps)
+	}
+}
+
+// TestCorruptStoreFallsBackToCompile tampers with every stored blob and
+// checks a session still serves correctly — the corrupt entries are
+// quarantined (at store open, which verifies every blob's content hash
+// while rebuilding the index) and recompiled, never replayed.
+func TestCorruptStoreFallsBackToCompile(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenPlanStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := storeShapes()[0]
+	stage := NewSession(SessionConfig{Store: store})
+	want := runStoreShape(t, stage, sh)
+
+	blobs, err := filepath.Glob(filepath.Join(dir, "plans", "*.plan"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("no blobs to corrupt: %v", err)
+	}
+	for _, path := range blobs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0x10
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store2, err := OpenPlanStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening verified every blob: the tampered one is quarantined and
+	// gone from the index before a request could decode it.
+	if store2.Len() != 0 {
+		t.Fatalf("corrupt store still indexes %d plans", store2.Len())
+	}
+	q, err := filepath.Glob(filepath.Join(dir, "quarantine", "*.plan"))
+	if err != nil || len(q) == 0 {
+		t.Fatalf("nothing quarantined: %v", err)
+	}
+
+	serve := NewSession(SessionConfig{Store: store2})
+	got := runStoreShape(t, serve, sh)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback compile replays differently")
+	}
+	if ps := serve.PlanStats(); ps.StoreHits != 0 {
+		t.Fatalf("corrupt blob counted as a store hit: %+v", ps)
+	}
+	// The recompile wrote through: the store healed itself.
+	if store2.Len() != 1 {
+		t.Fatalf("store did not heal: holds %d plans", store2.Len())
+	}
+}

@@ -32,6 +32,13 @@
 //	s := wse.NewSession(wse.SessionConfig{})
 //	rep, err := s.AllReduce(vectors, wse.Auto, wse.Sum) // compiles, caches
 //	rep, err = s.AllReduce(vectors, wse.Auto, wse.Sum)  // replays the plan
+//
+// Compiled plans also persist: a PlanStore is a content-addressed on-disk
+// warehouse of encoded plans (see OpenPlanStore), Session.Export writes a
+// session's plans into it, and Session.Warm — or SessionConfig.Store for
+// transparent read/write-through — loads them back, so a freshly started
+// process serves its first request by replaying a decoded plan instead of
+// compiling.
 package wse
 
 import (
