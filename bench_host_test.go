@@ -1,0 +1,15 @@
+package wse
+
+import "runtime"
+
+// benchHostMeta stamps the uniform host fields every BENCH_*.json
+// trajectory point records, so numbers from different PRs (and different
+// boxes) are comparable: concurrency results from a single-core host
+// show scheduling behaviour and overhead parity, not parallel speedup.
+func benchHostMeta(point map[string]any) {
+	point["host_cores"] = runtime.NumCPU()
+	point["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	if runtime.NumCPU() == 1 {
+		point["host_note"] = "single-core host: concurrent/sharded numbers show overhead parity and queueing, not parallel speedup; re-measure on a multi-core box"
+	}
+}

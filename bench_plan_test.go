@@ -45,6 +45,7 @@ func BenchmarkPlanColdVsReplay(b *testing.B) {
 			"p": planBenchP, "b": planBenchB,
 		},
 	}
+	benchHostMeta(point)
 
 	var coldNs, replayNs float64
 	b.Run("cold-compile-and-run", func(b *testing.B) {
@@ -156,13 +157,10 @@ func BenchmarkFabricReplayModes(b *testing.B) {
 		}},
 	}
 	point := map[string]any{"bench": "fabric-replay-modes"}
-	// Sharded wall-clock wins need cores: record the host so a parity
-	// result on a single-core box is not misread as "sharding is free but
-	// useless".
-	point["host_cores"] = runtime.NumCPU()
-	if runtime.NumCPU() == 1 {
-		point["host_note"] = "single-core host: sharded-pooled shows barrier-overhead parity, not speedup; re-measure on a multi-core box"
-	}
+	// Sharded wall-clock wins need cores: the host stamp keeps a parity
+	// result on a single-core box from being misread as "sharding is free
+	// but useless".
+	benchHostMeta(point)
 	for _, shape := range shapes {
 		for _, mode := range replayModes() {
 			req := shape.req

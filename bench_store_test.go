@@ -10,7 +10,6 @@ package wse
 import (
 	"encoding/json"
 	"os"
-	"runtime"
 	"testing"
 
 	"repro/internal/plan"
@@ -41,8 +40,8 @@ func BenchmarkWarmVsCold(b *testing.B) {
 			"kind": "reduce1d", "alg": "auto",
 			"p": planBenchP, "b": planBenchB,
 		},
-		"host_cores": runtime.NumCPU(),
 	}
+	benchHostMeta(point)
 
 	var compileNs, storeLoadNs, cacheHitNs float64
 	b.Run("compile-only", func(b *testing.B) {
@@ -89,6 +88,9 @@ func BenchmarkWarmVsCold(b *testing.B) {
 			if _, err := serve.Reduce(vectors, Auto, Sum); err != nil {
 				b.Fatal(err)
 			}
+			b.StopTimer()
+			serve.Close() // release the workers before the next iteration's session
+			b.StartTimer()
 		}
 		warmFirstNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})

@@ -6,11 +6,16 @@
 // cold/warm split, and -workers to replay concurrently.
 //
 // Subcommands manage the on-disk plan store, the pre-deployment warm-up
-// path:
+// path, and the multi-tenant serving demo:
 //
 //	wsecollect export -store DIR [shape flags]   compile the shape into DIR
 //	wsecollect warm   -store DIR                 preload every stored plan
 //	wsecollect [run]  -store DIR [shape flags]   serve with read/write-through
+//	wsecollect serve  -tenants SPEC [shape flags]
+//	    replay a mixed multi-tenant workload through the QoS scheduler and
+//	    print the per-tenant latency table plus a JSON SchedStats dump.
+//	    SPEC is a comma list of name:class:weight[:maxqueue] entries
+//	    (class: interactive, batch, background).
 //
 // Examples:
 //
@@ -21,15 +26,20 @@
 //	wsecollect -collective reduce -alg chain -p 128 -bytes 512 -repeat 64 -workers 8
 //	wsecollect export -store ./plans -collective reduce -alg auto -p 512 -bytes 64
 //	wsecollect warm -store ./plans
+//	wsecollect serve -tenants "fg:interactive:1,bulk:batch:3,scavenger:background:1" -p 64 -bytes 256 -repeat 64 -workers 2
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -61,6 +71,10 @@ type config struct {
 	maxCycles  int64
 	store      string
 	cpuprofile string
+	tenants    string
+	// set records which flags were passed explicitly, for defaults that
+	// differ per subcommand (serve bursts -repeat 64 unless given).
+	set map[string]bool
 }
 
 func parseFlags(cmd string, args []string) (*config, error) {
@@ -83,9 +97,13 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.Int64Var(&c.maxCycles, "maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28; raise for very large serialized runs)")
 	fs.StringVar(&c.store, "store", "", "plan store directory (run: read/write-through; export/warm: required)")
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the runs to this file")
+	fs.StringVar(&c.tenants, "tenants", "fg:interactive:1,bulk:batch:3,scavenger:background:1",
+		"serve: comma list of tenant name:class:weight[:maxqueue] (class: interactive, batch, background)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	c.set = make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { c.set[f.Name] = true })
 	return c, nil
 }
 
@@ -126,8 +144,10 @@ func realMain() int {
 		err = exportCmd(c)
 	case "warm":
 		err = warmCmd(c)
+	case "serve":
+		err = serveCmd(c)
 	default:
-		err = fmt.Errorf("unknown subcommand %q (run, export, warm)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)
@@ -211,44 +231,11 @@ func describe(sh wse.Shape, alg, alg2d string) string {
 }
 
 // once builds the run closure for a shape: the inputs and the session
-// method that serves it.
+// call that serves it. Both run and serve mode build inputs through
+// inputsFor, so a kind's arity is encoded exactly once.
 func once(sess *wse.Session, sh wse.Shape) func() (*wse.Report, error) {
-	switch sh.Kind {
-	case wse.KindReduce:
-		v := constVectors(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.Reduce(v, sh.Alg, sh.Op) }
-	case wse.KindAllReduce:
-		v := constVectors(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.AllReduce(v, sh.Alg, sh.Op) }
-	case wse.KindAllReduceMidRoot:
-		v := constVectors(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.AllReduceMidRoot(v, sh.Alg, sh.Op) }
-	case wse.KindBroadcast:
-		data := constVec(sh.B, 1)
-		return func() (*wse.Report, error) { return sess.Broadcast(data, sh.P) }
-	case wse.KindScatter:
-		data := constVec(sh.B, 1)
-		return func() (*wse.Report, error) { return sess.Scatter(data, sh.P) }
-	case wse.KindGather:
-		ch := chunks(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.Gather(ch) }
-	case wse.KindReduceScatter:
-		v := constVectors(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.ReduceScatter(v, sh.Op) }
-	case wse.KindAllGather:
-		ch := chunks(sh.P, sh.B)
-		return func() (*wse.Report, error) { return sess.AllGather(ch) }
-	case wse.KindReduce2D:
-		v := constVectors(sh.Width*sh.Height, sh.B)
-		return func() (*wse.Report, error) { return sess.Reduce2D(v, sh.Width, sh.Height, sh.Alg2D, sh.Op) }
-	case wse.KindAllReduce2D:
-		v := constVectors(sh.Width*sh.Height, sh.B)
-		return func() (*wse.Report, error) { return sess.AllReduce2D(v, sh.Width, sh.Height, sh.Alg2D, sh.Op) }
-	case wse.KindBroadcast2D:
-		data := constVec(sh.B, 1)
-		return func() (*wse.Report, error) { return sess.Broadcast2D(data, sh.Width, sh.Height) }
-	}
-	return func() (*wse.Report, error) { return nil, fmt.Errorf("unservable kind %q", sh.Kind) }
+	inputs := inputsFor(sh)
+	return func() (*wse.Report, error) { return sess.Run(sh, inputs) }
 }
 
 // exportCmd compiles the flag-specified shape into the plan store without
@@ -306,6 +293,157 @@ func warmCmd(c *config) error {
 	for _, n := range names {
 		fmt.Println("  ", n)
 	}
+	return nil
+}
+
+// tenantSpec is one parsed -tenants entry.
+type tenantSpec struct {
+	name string
+	cfg  wse.TenantConfig
+}
+
+// parseTenants parses the -tenants spec: comma-separated
+// name:class:weight[:maxqueue] entries.
+func parseTenants(spec string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("bad tenant %q (want name:class:weight[:maxqueue])", item)
+		}
+		ts := tenantSpec{name: parts[0]}
+		switch strings.ToLower(parts[1]) {
+		case "interactive":
+			ts.cfg.Priority = wse.Interactive
+		case "batch":
+			ts.cfg.Priority = wse.Batch
+		case "background":
+			ts.cfg.Priority = wse.Background
+		default:
+			return nil, fmt.Errorf("bad tenant class %q (interactive, batch, background)", parts[1])
+		}
+		var err error
+		if ts.cfg.Weight, err = strconv.Atoi(parts[2]); err != nil || ts.cfg.Weight < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q", parts[2])
+		}
+		if len(parts) == 4 {
+			if ts.cfg.MaxQueue, err = strconv.Atoi(parts[3]); err != nil || ts.cfg.MaxQueue < 1 {
+				return nil, fmt.Errorf("bad tenant maxqueue %q", parts[3])
+			}
+		}
+		out = append(out, ts)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants spec is empty")
+	}
+	return out, nil
+}
+
+// inputsFor builds all-ones inputs of the right arity for a shape.
+func inputsFor(sh wse.Shape) [][]float32 {
+	switch sh.Kind {
+	case wse.KindBroadcast, wse.KindScatter, wse.KindBroadcast2D:
+		return [][]float32{constVec(sh.B, 1)}
+	case wse.KindGather, wse.KindAllGather:
+		return chunks(sh.P, sh.B)
+	case wse.KindReduce2D, wse.KindAllReduce2D:
+		return constVectors(sh.Width*sh.Height, sh.B)
+	}
+	return constVectors(sh.P, sh.B)
+}
+
+// serveCmd is the multi-tenant serving demo: every -tenants tenant
+// bursts -repeat copies of the flag shape at the session at once, so the
+// worker pool saturates and the QoS scheduler decides who runs when.
+// The per-tenant table then shows the policy at work: weighted-fair
+// served counts, class precedence in the queue-wait quantiles, and
+// ErrOverloaded rejections for tenants with a tight maxqueue bound —
+// followed by the raw SchedStats dumped as JSON for dashboards.
+func serveCmd(c *config) error {
+	specs, err := parseTenants(c.tenants)
+	if err != nil {
+		return err
+	}
+	sh, err := c.shape()
+	if err != nil {
+		return err
+	}
+	repeat := c.repeat
+	if !c.set["repeat"] {
+		repeat = 64 // one request per tenant shows no contention; default to a burst
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	cfg := wse.SessionConfig{Options: c.options(), Workers: c.workers}
+	if c.store != "" { // read/write-through, exactly as run mode attaches it
+		store, err := wse.OpenPlanStore(c.store)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
+	sess := wse.NewSession(cfg)
+	defer sess.Close()
+	inputs := inputsFor(sh)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var rejected, cancelled, failed atomic.Int64
+	ctx := context.Background()
+	for _, ts := range specs {
+		tn := sess.WithTenant(ts.name, ts.cfg)
+		for i := 0; i < repeat; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				switch _, err := tn.Run(ctx, sh, inputs); {
+				case errors.Is(err, wse.ErrOverloaded):
+					rejected.Add(1)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					cancelled.Add(1)
+				case err != nil:
+					failed.Add(1)
+					fmt.Fprintln(os.Stderr, "wsecollect: serve:", err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := sess.Close(); err != nil {
+		return err
+	}
+
+	st := sess.SchedStats()
+	fmt.Printf("served %d requests (%s of %d bytes each) from %d tenants in %v: %d ok, %d rejected, %d cancelled\n",
+		len(specs)*repeat, c.collective, c.bytes, len(specs),
+		elapsed.Round(time.Millisecond), int64(len(specs)*repeat)-rejected.Load()-cancelled.Load()-failed.Load(),
+		rejected.Load(), cancelled.Load())
+	fmt.Printf("%-12s %-12s %6s %7s %8s %9s %12s %12s %12s %12s\n",
+		"tenant", "class", "weight", "served", "rejected", "cancelled",
+		"wait p50", "wait p99", "exec p50", "exec p99")
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := st.Tenants[name]
+		fmt.Printf("%-12s %-12s %6d %7d %8d %9d %12v %12v %12v %12v\n",
+			name, ts.Class, ts.Weight, ts.Served, ts.Rejected, ts.Cancelled,
+			ts.QueueWaitP50.Round(time.Microsecond), ts.QueueWaitP99.Round(time.Microsecond),
+			ts.ExecP50.Round(time.Microsecond), ts.ExecP99.Round(time.Microsecond))
+	}
+	fmt.Printf("pool: %d workers, max queue depth %d, saturated %v of %v (%.0f%%)\n",
+		st.Pool.Workers, st.Pool.MaxDepth, st.Pool.Saturated.Round(time.Millisecond),
+		elapsed.Round(time.Millisecond), 100*float64(st.Pool.Saturated)/float64(elapsed))
+
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(buf))
 	return nil
 }
 

@@ -1,31 +1,44 @@
 package plan
 
 import (
+	"context"
 	"errors"
-	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // Session is the serving-shaped executor over the plan cache: requests
 // are compiled once (cold path), then replayed from the cache (hot path),
 // with concurrent fabric simulations bounded by a worker pool. A Session
-// is safe for use from many goroutines; independent collectives run
-// concurrently up to the pool size, and further callers queue.
+// is safe for use from many goroutines.
+//
+// The worker pool is fronted by a multi-tenant QoS scheduler
+// (internal/sched): every replay is submitted under a tenant name and
+// dispatched by weighted-fair scheduling within strict priority classes,
+// with per-tenant admission control — a heavy tenant saturating the pool
+// is rejected (sched.ErrOverloaded) rather than allowed to queue without
+// bound, and never starves a latency-sensitive Interactive tenant.
+// Run/RunContext are the single-tenant face of the same path: they
+// submit under the default tenant.
 type Session struct {
 	cache *Cache
-	slots chan struct{}
+	sch   *sched.Scheduler
 }
 
 // NewSession returns a session with the given plan-cache capacity and
-// worker-pool size (<= 0 selects DefaultCacheCapacity and GOMAXPROCS).
+// worker-pool size (<= 0 selects DefaultCacheCapacity and GOMAXPROCS),
+// with every request served under the default tenant config.
 func NewSession(cacheCapacity, workers int) *Session {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	return NewSessionSched(cacheCapacity, sched.Config{Workers: workers})
+}
+
+// NewSessionSched returns a session whose worker pool runs under the
+// given scheduler config (worker count, default tenant QoS).
+func NewSessionSched(cacheCapacity int, cfg sched.Config) *Session {
 	return &Session{
 		cache: NewCache(cacheCapacity),
-		slots: make(chan struct{}, workers),
+		sch:   sched.New(cfg),
 	}
 }
 
@@ -37,22 +50,70 @@ func (s *Session) Plan(req Request) (*Plan, error) {
 }
 
 // Run compiles (or fetches) the plan for req and replays it with the
-// given inputs under a worker slot.
+// given inputs under a worker slot, as the default tenant.
 func (s *Session) Run(req Request, inputs [][]float32) (*core.Report, error) {
+	return s.Submit(context.Background(), "", req, inputs)
+}
+
+// RunContext is Run with a cancellation path: a caller abandoning a
+// request that is still queued for a worker unqueues it and returns
+// ctx.Err() immediately — no goroutine is left waiting on the pool.
+func (s *Session) RunContext(ctx context.Context, req Request, inputs [][]float32) (*core.Report, error) {
+	return s.Submit(ctx, "", req, inputs)
+}
+
+// Submit compiles (or fetches) the plan for req and replays it with the
+// given inputs under the named tenant's QoS ("" selects the default
+// tenant). Plan acquisition happens in the caller's goroutine — compiles
+// never occupy a worker slot — then the replay is queued under the
+// tenant and dispatched by the scheduler. Submit returns the replay's
+// report, or sched.ErrOverloaded when the tenant's queue is full,
+// sched.ErrClosed after Close, or ctx.Err() when the context fires while
+// the request is queued or running.
+//
+// Admission is checked before plan acquisition: a request that would
+// only be turned away (overloaded tenant, closed session, dead context)
+// is rejected without compiling anything or touching the shared plan
+// cache, so a flooding tenant cannot burn compile cycles or evict other
+// tenants' hot plans with requests that never run.
+func (s *Session) Submit(ctx context.Context, tenant string, req Request, inputs [][]float32) (*core.Report, error) {
+	if err := s.sch.Admit(ctx, tenant); err != nil {
+		return nil, err
+	}
 	p, err := s.cache.Get(req)
 	if err != nil {
 		return nil, err
 	}
-	s.slots <- struct{}{}
-	defer func() { <-s.slots }()
-	return p.Execute(inputs)
+	var rep *core.Report
+	if err := s.sch.Submit(ctx, tenant, func(context.Context) error {
+		r, e := p.Execute(inputs)
+		rep = r
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
+
+// SetTenant registers (or live-reconfigures) a tenant's weight, priority
+// class and queue bound.
+func (s *Session) SetTenant(name string, cfg sched.TenantConfig) { s.sch.SetTenant(name, cfg) }
 
 // Stats snapshots the plan-cache accounting.
 func (s *Session) Stats() CacheStats { return s.cache.Stats() }
 
+// SchedStats snapshots the scheduler's per-tenant accounting (served/
+// rejected/cancelled counts, queue-wait and execution latency quantiles)
+// and the worker pool's backpressure metrics.
+func (s *Session) SchedStats() sched.Stats { return s.sch.Stats() }
+
 // Workers returns the worker-pool size.
-func (s *Session) Workers() int { return cap(s.slots) }
+func (s *Session) Workers() int { return s.sch.Workers() }
+
+// Close stops admission, drains queued replays, waits for running ones
+// and releases the worker pool. Submissions after Close return
+// sched.ErrClosed.
+func (s *Session) Close() error { return s.sch.Close() }
 
 // SetStore attaches a plan store to the session's cache: misses read
 // through it and compiles write through to it. Call before taking

@@ -1,0 +1,565 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gate occupies every worker of s with blocked tasks submitted under
+// tenant name, returning the release func. It lets tests stage queue
+// contents deterministically: while the gate holds, nothing dequeues.
+func gate(t *testing.T, s *Scheduler, name string, workers int) (release func(), wait func()) {
+	t.Helper()
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Submit(context.Background(), name, func(context.Context) error {
+				<-ch
+				return nil
+			}); err != nil {
+				t.Errorf("gate task: %v", err)
+			}
+		}()
+	}
+	waitRunning(t, s, workers)
+	return func() { close(ch) }, wg.Wait
+}
+
+// waitRunning polls until exactly n tasks are running.
+func waitRunning(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	waitCond(t, func() bool { return s.Stats().Pool.Running == n },
+		fmt.Sprintf("%d running tasks", n))
+}
+
+// waitDepth polls until the pool-wide queue depth reaches n.
+func waitDepth(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	waitCond(t, func() bool { return s.Stats().Pool.Depth == n },
+		fmt.Sprintf("queue depth %d", n))
+}
+
+func waitCond(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// recorder appends dispatch labels in execution order.
+type recorder struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (r *recorder) task(label string) func(context.Context) error {
+	return func(context.Context) error {
+		r.mu.Lock()
+		r.order = append(r.order, label)
+		r.mu.Unlock()
+		return nil
+	}
+}
+
+func (r *recorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// enqueue submits n recorded tasks for tenant from background goroutines
+// and returns a wait func for their completion.
+func enqueue(t *testing.T, s *Scheduler, tenant string, n int, rec *recorder) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Submit(context.Background(), tenant, rec.task(tenant)); err != nil {
+				t.Errorf("submit %s: %v", tenant, err)
+			}
+		}()
+	}
+	return wg.Wait
+}
+
+// TestWeightedFairness is the 3:1 acceptance check: tenants A (weight 3)
+// and B (weight 1) with full queues split a single worker's dispatches
+// in their weight ratio, within 20%.
+func TestWeightedFairness(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{Weight: 3})
+	s.SetTenant("B", TenantConfig{Weight: 1})
+
+	release, gateDone := gate(t, s, "A", 1)
+	rec := &recorder{}
+	const each = 60
+	waitA := enqueue(t, s, "A", each, rec)
+	waitB := enqueue(t, s, "B", each, rec)
+	waitDepth(t, s, 2*each)
+
+	release()
+	gateDone()
+	waitA()
+	waitB()
+
+	// Both tenants stay backlogged until A's queue runs dry at dispatch
+	// ~4/3·each; judge the ratio over the window where fairness, not
+	// queue exhaustion, decides.
+	order := rec.snapshot()
+	window := order[:each+each/3]
+	a, b := 0, 0
+	for _, l := range window {
+		if l == "A" {
+			a++
+		} else {
+			b++
+		}
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("dispatch ratio A:B = %d:%d = %.2f, want 3.0 within 20%%", a, b, ratio)
+	}
+}
+
+// TestInteractivePreemptsBatchQueue is the starvation acceptance check:
+// an Interactive request arriving behind a deep saturating Batch backlog
+// is dispatched before any further Batch request.
+func TestInteractivePreemptsBatchQueue(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("bulk", TenantConfig{Weight: 8, Priority: Batch})
+	s.SetTenant("fg", TenantConfig{Weight: 1, Priority: Interactive})
+
+	release, gateDone := gate(t, s, "bulk", 1)
+	rec := &recorder{}
+	waitBulk := enqueue(t, s, "bulk", 40, rec)
+	waitDepth(t, s, 40)
+	waitFg := enqueue(t, s, "fg", 1, rec)
+	waitDepth(t, s, 41)
+
+	release()
+	gateDone()
+	waitBulk()
+	waitFg()
+
+	if order := rec.snapshot(); order[0] != "fg" {
+		t.Fatalf("first dispatch after release was %q, want the queued interactive request (order %v)", order[0], order[:5])
+	}
+}
+
+// TestBackgroundYields: Background work runs only when no other class is
+// queued, even with an enormous weight.
+func TestBackgroundYields(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("scv", TenantConfig{Weight: 100, Priority: Background})
+	s.SetTenant("b", TenantConfig{Weight: 1, Priority: Batch})
+
+	release, gateDone := gate(t, s, "b", 1)
+	rec := &recorder{}
+	waitS := enqueue(t, s, "scv", 10, rec)
+	waitDepth(t, s, 10)
+	waitB := enqueue(t, s, "b", 10, rec)
+	waitDepth(t, s, 20)
+
+	release()
+	gateDone()
+	waitS()
+	waitB()
+
+	for i, l := range rec.snapshot()[:10] {
+		if l != "b" {
+			t.Fatalf("dispatch %d was %q; all batch work must precede background", i, l)
+		}
+	}
+}
+
+// TestOverload: a full tenant queue rejects immediately with
+// ErrOverloaded; other tenants are unaffected; the rejection is counted.
+func TestOverload(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("small", TenantConfig{MaxQueue: 4})
+
+	release, gateDone := gate(t, s, "small", 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Submit(context.Background(), "small", func(context.Context) error { return nil }); err != nil {
+				t.Errorf("queued submit: %v", err)
+			}
+		}()
+	}
+	waitDepth(t, s, 4)
+
+	start := time.Now()
+	err := s.Submit(context.Background(), "small", func(context.Context) error { return nil })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit to full queue: %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("overload rejection took %v; admission control must not block", d)
+	}
+	if st := s.Stats().Tenants["small"]; st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+
+	release()
+	gateDone()
+	wg.Wait()
+	// Admission is per-tenant: the other tenants were never affected by
+	// small's full queue.
+	if err := s.Submit(context.Background(), "other", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("other tenant rejected alongside the overloaded one: %v", err)
+	}
+}
+
+// TestCancelQueued: a context firing while the request is queued returns
+// ctx.Err() promptly, the request never runs, and it counts cancelled.
+func TestCancelQueued(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	release, gateDone := gate(t, s, "t", 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.Submit(ctx, "t", func(context.Context) error { ran = true; return nil })
+	}()
+	waitDepth(t, s, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued submit: %v, want context.Canceled", err)
+	}
+
+	release()
+	gateDone()
+	s.Close() // drain: the cancelled entry must be discarded, not run
+	if ran {
+		t.Fatal("cancelled request was executed")
+	}
+	st := s.Stats().Tenants["t"]
+	if st.Cancelled != 1 || st.Served != 1 || st.Submitted != 2 {
+		t.Fatalf("stats %+v: want 1 cancelled (the unqueued request), 1 served (the gate)", st)
+	}
+}
+
+// TestCancelRunning: a context firing mid-run returns immediately while
+// the work completes in the background, accounted cancelled not served.
+func TestCancelRunning(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan struct{})
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.Submit(ctx, "t", func(context.Context) error {
+			close(blocked)
+			<-done
+			return nil
+		})
+	}()
+	<-blocked
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning a running submit: %v, want context.Canceled", err)
+	}
+	close(done)
+	s.Close()
+	st := s.Stats().Tenants["t"]
+	if st.Cancelled != 1 || st.Served != 0 {
+		t.Fatalf("stats %+v: want the abandoned run counted cancelled, not served", st)
+	}
+}
+
+// TestPreCancelledContext never queues the request at all.
+func TestPreCancelledContext(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Submit(ctx, "t", func(context.Context) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit: %v", err)
+	}
+	if st := s.Stats().Tenants["t"]; st.Cancelled != 1 || st.Depth != 0 {
+		t.Fatalf("stats %+v: want cancelled=1, depth=0", st)
+	}
+}
+
+// TestCloseDrains: Close runs everything already queued, then rejects
+// new work with ErrClosed.
+func TestCloseDrains(t *testing.T) {
+	s := New(Config{Workers: 2})
+	release, gateDone := gate(t, s, "t", 2)
+	rec := &recorder{}
+	wait := enqueue(t, s, "t", 20, rec)
+	waitDepth(t, s, 20)
+
+	release()
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	gateDone()
+	wait()
+	<-closed
+
+	if got := len(rec.snapshot()); got != 20 {
+		t.Fatalf("drained %d of 20 queued requests", got)
+	}
+	if err := s.Submit(context.Background(), "t", func(context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	st := s.Stats()
+	if st.Pool.Depth != 0 || st.Pool.Running != 0 {
+		t.Fatalf("pool not drained: %+v", st.Pool)
+	}
+}
+
+// TestFailedWorkIsServed: an erroring request surfaces its error and is
+// accounted served + failed.
+func TestFailedWorkIsServed(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	boom := errors.New("boom")
+	if err := s.Submit(context.Background(), "t", func(context.Context) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("submit returned %v, want the work's own error", err)
+	}
+	if st := s.Stats().Tenants["t"]; st.Served != 1 || st.Failed != 1 {
+		t.Fatalf("stats %+v: want served=1 failed=1", st)
+	}
+}
+
+// TestAccountingBalance hammers the scheduler from many goroutines with
+// a mix of normal, rejected and cancelled submissions and checks the
+// invariant submitted = served + rejected + cancelled for every tenant.
+// Run under -race in CI, it doubles as the concurrency soak.
+func TestAccountingBalance(t *testing.T) {
+	s := New(Config{Workers: 2, DefaultTenant: TenantConfig{MaxQueue: 8}})
+	tenants := []string{"a", "b", "c", "d"}
+	s.SetTenant("a", TenantConfig{Weight: 3, Priority: Interactive, MaxQueue: 4})
+	s.SetTenant("b", TenantConfig{Weight: 1, Priority: Background, MaxQueue: 4})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				tn := tenants[(g+i)%len(tenants)]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%5 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%3)*50*time.Microsecond)
+				}
+				err := s.Submit(ctx, tn, func(context.Context) error {
+					time.Sleep(10 * time.Microsecond)
+					return nil
+				})
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil,
+					errors.Is(err, ErrOverloaded),
+					errors.Is(err, context.Canceled),
+					errors.Is(err, context.DeadlineExceeded):
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := s.Stats()
+	var submitted int64
+	for name, ts := range st.Tenants {
+		if got := ts.Served + ts.Rejected + ts.Cancelled; got != ts.Submitted {
+			t.Errorf("tenant %s: submitted %d != served %d + rejected %d + cancelled %d",
+				name, ts.Submitted, ts.Served, ts.Rejected, ts.Cancelled)
+		}
+		submitted += ts.Submitted
+	}
+	if want := int64(8 * 60); submitted != want {
+		t.Errorf("total submitted %d, want %d", submitted, want)
+	}
+	if st.Pool.Depth != 0 || st.Pool.Running != 0 {
+		t.Errorf("pool not quiescent after close: %+v", st.Pool)
+	}
+	if st.Pool.Saturated < 0 {
+		t.Errorf("negative cumulative saturation %v: a completion timestamp predated a dispatch", st.Pool.Saturated)
+	}
+}
+
+// TestIdleTenantBanksNoCredit: a tenant idle through many dispatches is
+// lifted to the class floor when it wakes, rather than monopolising the
+// worker while it pays back virtual-time debt it never owed.
+func TestIdleTenantBanksNoCredit(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{Weight: 1})
+	s.SetTenant("late", TenantConfig{Weight: 1})
+
+	// Let A accumulate 30 dispatches alone (vtime 30) while late idles.
+	for i := 0; i < 30; i++ {
+		if err := s.Submit(context.Background(), "A", func(context.Context) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release, gateDone := gate(t, s, "A", 1)
+	rec := &recorder{}
+	waitA := enqueue(t, s, "A", 10, rec)
+	waitL := enqueue(t, s, "late", 10, rec)
+	waitDepth(t, s, 20)
+	release()
+	gateDone()
+	waitA()
+	waitL()
+
+	// Equal weights from the wake-up point: the first 10 dispatches must
+	// interleave rather than run all of late's backlog first.
+	a := 0
+	for _, l := range rec.snapshot()[:10] {
+		if l == "A" {
+			a++
+		}
+	}
+	if a < 3 || a > 7 {
+		t.Fatalf("A got %d of the first 10 dispatches; waking tenant must not repay phantom debt (order %v)", a, rec.snapshot()[:10])
+	}
+}
+
+// TestClassChangeJoinsAtFloor: a tenant reconfigured into a different
+// priority class joins at that class's virtual-time floor — its history
+// in the old class must not starve it against established peers.
+func TestClassChangeJoinsAtFloor(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("peer", TenantConfig{Priority: Interactive})
+	s.SetTenant("promoted", TenantConfig{Priority: Batch})
+
+	// promoted accumulates a large Batch virtual time...
+	for i := 0; i < 40; i++ {
+		if err := s.Submit(context.Background(), "promoted", func(context.Context) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ...then moves to Interactive, where the peer's vtime is tiny.
+	s.SetTenant("promoted", TenantConfig{Priority: Interactive})
+
+	release, gateDone := gate(t, s, "peer", 1)
+	rec := &recorder{}
+	waitPeer := enqueue(t, s, "peer", 10, rec)
+	waitProm := enqueue(t, s, "promoted", 10, rec)
+	waitDepth(t, s, 20)
+	release()
+	gateDone()
+	waitPeer()
+	waitProm()
+
+	// Equal weights from the promotion point: the first 10 dispatches
+	// interleave instead of serving all of peer's backlog first.
+	prom := 0
+	for _, l := range rec.snapshot()[:10] {
+		if l == "promoted" {
+			prom++
+		}
+	}
+	if prom < 3 || prom > 7 {
+		t.Fatalf("promoted tenant got %d of the first 10 dispatches; class change must not carry old-class virtual time (order %v)", prom, rec.snapshot()[:10])
+	}
+}
+
+// TestAdmitPrecheck: Admit mirrors Submit's admission outcome and
+// accounting without queueing work, and never double-counts when the
+// Submit follows.
+func TestAdmitPrecheck(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("small", TenantConfig{MaxQueue: 1})
+
+	if err := s.Admit(context.Background(), "small"); err != nil {
+		t.Fatalf("admit with empty queue: %v", err)
+	}
+	if err := s.Submit(context.Background(), "small", func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Admit(ctx, "small"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("admit with dead context: %v", err)
+	}
+	st := s.Stats().Tenants["small"]
+	if st.Submitted != 2 || st.Served != 1 || st.Cancelled != 1 {
+		t.Fatalf("stats %+v: want submitted=2 (admit successes not counted twice), served=1, cancelled=1", st)
+	}
+
+	release, gateDone := gate(t, s, "small", 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- s.Submit(context.Background(), "small", func(context.Context) error { return nil })
+	}()
+	waitDepth(t, s, 1)
+	if err := s.Admit(context.Background(), "small"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit over the bound: %v, want ErrOverloaded", err)
+	}
+	release()
+	gateDone()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats().Tenants["small"]
+	if got := st.Served + st.Rejected + st.Cancelled; got != st.Submitted {
+		t.Fatalf("accounting unbalanced after prechecks: %+v", st)
+	}
+}
+
+// TestCloseWithoutUse: a scheduler that never served needs no workers
+// and Close returns immediately.
+func TestCloseWithoutUse(t *testing.T) {
+	s := New(Config{Workers: 4})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(context.Background(), "t", func(context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after unused close: %v, want ErrClosed", err)
+	}
+}
+
+// TestStatsQuantiles sanity-checks that latency sketches populate.
+func TestStatsQuantiles(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(context.Background(), "t", func(context.Context) error {
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := s.Stats().Tenants["t"]
+	if ts.ExecP50 < 100*time.Microsecond {
+		t.Fatalf("exec p50 %v for 200µs tasks", ts.ExecP50)
+	}
+	if ts.ExecP99 < ts.ExecP50 {
+		t.Fatalf("p99 %v < p50 %v", ts.ExecP99, ts.ExecP50)
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"math/bits"
+	"time"
+)
+
+// sketch is a small streaming quantile estimator for latencies: a
+// log-bucketed histogram over nanoseconds with 8 linear sub-buckets per
+// power of two (HDR-histogram style, 496 counters ≈ 4 KB). Relative
+// error of any quantile is bounded by the sub-bucket width, ≤ 1/16 =
+// 6.25%, which is ample for a p50/p99 serving table; unlike a reservoir
+// it never forgets the tail and has no per-observation allocation. The
+// zero value is ready to use. Not self-locking: the scheduler serialises
+// access under its mutex.
+type sketch struct {
+	count   uint64
+	buckets [sketchLen]uint64
+}
+
+const (
+	sketchSubBits  = 3
+	sketchSubCount = 1 << sketchSubBits
+	// Bucket layout: values < 8 ns map to their own bucket; every later
+	// power of two [2^e, 2^(e+1)) splits into 8 equal sub-buckets. The
+	// top exponent (63) ends the array at (63-3)*8 + 7 + 8 = 495.
+	sketchLen = (63-sketchSubBits)*sketchSubCount + sketchSubCount + sketchSubCount
+)
+
+func sketchBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < sketchSubCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1
+	sub := int((u >> (uint(exp) - sketchSubBits)) & (sketchSubCount - 1))
+	return (exp-sketchSubBits)*sketchSubCount + sub + sketchSubCount
+}
+
+// sketchValue is the representative (midpoint) value of bucket b — the
+// inverse of sketchBucket up to the sub-bucket width.
+func sketchValue(b int) int64 {
+	if b < sketchSubCount {
+		return int64(b)
+	}
+	m := uint((b - sketchSubCount) / sketchSubCount)
+	sub := int64((b - sketchSubCount) % sketchSubCount)
+	low := (sketchSubCount + sub) << m
+	return low + (int64(1)<<m)/2
+}
+
+func (s *sketch) observe(d time.Duration) {
+	s.buckets[sketchBucket(d.Nanoseconds())]++
+	s.count++
+}
+
+// quantile returns the q-th quantile (0 < q <= 1) of everything observed,
+// or 0 when nothing has been.
+func (s *sketch) quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.count))
+	if rank >= s.count {
+		rank = s.count - 1
+	}
+	var cum uint64
+	for b, n := range s.buckets {
+		cum += n
+		if cum > rank {
+			return time.Duration(sketchValue(b))
+		}
+	}
+	return 0 // unreachable: cum reaches count
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSketchQuantiles checks the bounded-relative-error contract on a
+// known distribution: 1..1000 µs uniform.
+func TestSketchQuantiles(t *testing.T) {
+	var s sketch
+	for us := 1; us <= 1000; us++ {
+		s.observe(time.Duration(us) * time.Microsecond)
+	}
+	check := func(q float64, want time.Duration) {
+		t.Helper()
+		got := s.quantile(q)
+		lo := want - want/8
+		hi := want + want/8
+		if got < lo || got > hi {
+			t.Errorf("p%.0f = %v, want %v ± 12.5%%", 100*q, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	check(1.0, 1000*time.Microsecond)
+}
+
+// TestSketchBucketsRoundTrip: every bucket's representative value maps
+// back to that bucket, and the mapping is monotone.
+func TestSketchBucketsRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 7, 8, 9, 15, 16, 100, 1023, 1024, 1 << 20, 1 << 40, 1<<62 + 12345}
+	prev := -1
+	for _, v := range values {
+		b := sketchBucket(v)
+		if b < prev {
+			t.Fatalf("bucket(%d) = %d < previous %d: not monotone", v, b, prev)
+		}
+		prev = b
+		rep := sketchValue(b)
+		if got := sketchBucket(rep); got != b {
+			t.Errorf("value %d: bucket %d has representative %d mapping to bucket %d", v, b, rep, got)
+		}
+	}
+	if s := (&sketch{}); s.quantile(0.5) != 0 {
+		t.Error("empty sketch quantile must be 0")
+	}
+}
+
+// TestSketchNegativeClamped: negative durations (clock weirdness) clamp
+// to bucket zero instead of indexing out of bounds.
+func TestSketchNegativeClamped(t *testing.T) {
+	var s sketch
+	s.observe(-time.Second)
+	if got := s.quantile(0.5); got != 0 {
+		t.Fatalf("negative observation landed at %v, want clamp to 0", got)
+	}
+}

@@ -8,10 +8,15 @@ package wse
 // content-keyed LRU cache, and replays it for every subsequent call —
 // cold-path compile once, hot-path replay many. Sessions are safe for
 // concurrent use: independent collectives run in parallel on a bounded
-// worker pool.
+// worker pool, fronted by a multi-tenant QoS scheduler — WithTenant
+// serves callers under weighted-fair shares and strict priority classes,
+// with per-tenant admission control and accounting (SchedStats).
 
 import (
+	"context"
+
 	"repro/internal/plan"
+	"repro/internal/sched"
 )
 
 // SessionConfig tunes a Session; the zero value is usable.
@@ -37,7 +42,56 @@ type SessionConfig struct {
 	// once per process. Store failures never fail a request — the session
 	// falls back to compiling — and are counted in PlanStats.StoreErrors.
 	Store *PlanStore
+	// Scheduler tunes the multi-tenant QoS layer in front of the worker
+	// pool; the zero value serves everything as one weight-1 Batch tenant
+	// with the default queue bound.
+	Scheduler SchedulerConfig
 }
+
+// SchedulerConfig tunes the session's multi-tenant request scheduler.
+type SchedulerConfig struct {
+	// DefaultTenant is the TenantConfig applied to the default tenant and
+	// to any tenant name first seen on a request rather than registered
+	// via WithTenant.
+	DefaultTenant TenantConfig
+}
+
+// TenantConfig sets a tenant's share of the session's worker pool: its
+// weighted-fair Weight, its strict Priority class, and its admission
+// bound MaxQueue (queued requests beyond it are rejected with
+// ErrOverloaded instead of waiting without bound).
+type TenantConfig = sched.TenantConfig
+
+// Priority is a strict dispatch class: every queued Interactive request
+// runs before any Batch request, and Batch before Background. The zero
+// value is Batch.
+type Priority = sched.Priority
+
+// The priority classes, in dispatch order.
+const (
+	Interactive = sched.Interactive
+	Batch       = sched.Batch
+	Background  = sched.Background
+)
+
+// SchedStats is the scheduler's accounting: per-tenant served/rejected/
+// cancelled counts and queue-wait/execution latency quantiles, plus the
+// worker pool's backpressure metrics (queue depth, saturation time).
+// Per-tenant counters balance: Submitted = Served + Rejected + Cancelled.
+type SchedStats = sched.Stats
+
+// TenantStats is one tenant's slice of SchedStats.
+type TenantStats = sched.TenantStats
+
+// PoolStats is the worker-pool backpressure slice of SchedStats.
+type PoolStats = sched.PoolStats
+
+// ErrOverloaded is returned — immediately, never after queueing — when a
+// request arrives while its tenant's queue is at the MaxQueue bound.
+var ErrOverloaded = sched.ErrOverloaded
+
+// ErrSessionClosed is returned by requests submitted after Close.
+var ErrSessionClosed = sched.ErrClosed
 
 // DefaultSessionMaxCycles is the per-run cycle cap a Session applies when
 // its Options leave MaxCycles at zero. The bare simulator defaults to
@@ -56,30 +110,161 @@ type PlanStats = plan.CacheStats
 type Session struct {
 	opt Options
 	s   *plan.Session
+	def Tenant // the default-tenant handle the Session's own methods serve under
 }
 
 // NewSession creates a session. The zero SessionConfig models the WSE-2
-// with the default cache capacity and one worker per CPU.
+// with the default cache capacity and one worker per CPU. A session that
+// has served requests owns that many worker goroutines until Close; a
+// session that never serves (e.g. a staging session used only to Warm a
+// store) starts none and needs no Close.
 func NewSession(cfg SessionConfig) *Session {
 	if cfg.Options.MaxCycles == 0 {
 		cfg.Options.MaxCycles = DefaultSessionMaxCycles
 	}
 	s := &Session{
 		opt: cfg.Options,
-		s:   plan.NewSession(cfg.PlanCacheCapacity, cfg.Workers),
+		s: plan.NewSessionSched(cfg.PlanCacheCapacity, sched.Config{
+			Workers:       cfg.Workers,
+			DefaultTenant: cfg.Scheduler.DefaultTenant,
+		}),
 	}
 	if cfg.Store != nil {
 		s.s.SetStore(cfg.Store)
 	}
+	s.def = Tenant{s: s} // empty name: the scheduler's default tenant
 	return s
 }
 
 // PlanStats snapshots the session's plan-cache accounting.
 func (s *Session) PlanStats() PlanStats { return s.s.Stats() }
 
-func (s *Session) run(req plan.Request, inputs [][]float32) (*Report, error) {
-	req.Opt = s.opt
-	return s.s.Run(req, inputs)
+// SchedStats snapshots the session's scheduler accounting: per-tenant
+// counts and latency quantiles, and pool backpressure.
+func (s *Session) SchedStats() SchedStats { return s.s.SchedStats() }
+
+// Close stops admission, drains queued requests, waits for running ones
+// and releases the worker pool. Requests after Close are rejected with
+// ErrSessionClosed. Sessions that live for the whole process need not be
+// closed.
+func (s *Session) Close() error { return s.s.Close() }
+
+// WithTenant registers (or live-reconfigures) a tenant and returns a
+// handle that serves collectives under that tenant's QoS: weighted-fair
+// dispatch against the other tenants of its priority class, strict
+// precedence over lower classes, and per-tenant admission control and
+// accounting. Handles are safe for concurrent use and share the
+// session's plan cache — tenancy is a scheduling identity, not a cache
+// partition.
+//
+// Tenants are meant to be a small, bounded set of serving classes (a
+// front-end pool, a batch pipeline, a scavenger), not one per end user:
+// every distinct name permanently holds its queue, latency sketches and
+// accounting for the session's lifetime, and dispatch scans the tenant
+// set.
+func (s *Session) WithTenant(name string, cfg TenantConfig) *Tenant {
+	s.s.SetTenant(name, cfg)
+	return &Tenant{s: s, name: name}
+}
+
+// Tenant serves collectives on its Session under one tenant's QoS. Its
+// methods mirror the Session's, plus a context: cancelling it unqueues a
+// request still waiting for a worker (returning ctx.Err() immediately) or
+// abandons a running one, which the accounting then counts as cancelled
+// rather than served.
+type Tenant struct {
+	s    *Session
+	name string
+}
+
+// Name returns the tenant name the handle submits under.
+func (t *Tenant) Name() string { return t.name }
+
+func (t *Tenant) run(ctx context.Context, req plan.Request, inputs [][]float32) (*Report, error) {
+	req.Opt = t.s.opt
+	return t.s.s.Submit(ctx, t.name, req, inputs)
+}
+
+// Run serves any collective named by a Shape — the dynamic counterpart
+// of the typed methods below, for callers (like a serving front-end)
+// that route decoded requests.
+func (t *Tenant) Run(ctx context.Context, sh Shape, inputs [][]float32) (*Report, error) {
+	return t.s.s.Submit(ctx, t.name, sh.request(t.s.opt), inputs)
+}
+
+// Run is the session-level (default-tenant, no cancellation) counterpart
+// of Tenant.Run: it serves any collective named by a Shape.
+func (s *Session) Run(sh Shape, inputs [][]float32) (*Report, error) {
+	return s.def.Run(context.Background(), sh, inputs)
+}
+
+// Reduce is the tenant counterpart of Session.Reduce.
+func (t *Tenant) Reduce(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.Reduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// AllReduce is the tenant counterpart of Session.AllReduce.
+func (t *Tenant) AllReduce(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.AllReduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// AllReduceMidRoot is the tenant counterpart of Session.AllReduceMidRoot.
+func (t *Tenant) AllReduceMidRoot(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.AllReduceMidRoot, Alg: alg, P: p, B: b, Op: op}, vectors)
+}
+
+// Broadcast is the tenant counterpart of Session.Broadcast.
+func (t *Tenant) Broadcast(ctx context.Context, data []float32, p int) (*Report, error) {
+	return t.run(ctx, plan.Request{Kind: plan.Broadcast1D, P: p, B: len(data)}, [][]float32{data})
+}
+
+// Reduce2D is the tenant counterpart of Session.Reduce2D.
+func (t *Tenant) Reduce2D(ctx context.Context, vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
+	_, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.Reduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+}
+
+// AllReduce2D is the tenant counterpart of Session.AllReduce2D.
+func (t *Tenant) AllReduce2D(ctx context.Context, vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
+	_, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.AllReduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+}
+
+// Broadcast2D is the tenant counterpart of Session.Broadcast2D.
+func (t *Tenant) Broadcast2D(ctx context.Context, data []float32, width, height int) (*Report, error) {
+	return t.run(ctx, plan.Request{Kind: plan.Broadcast2D, Width: width, Height: height, B: len(data)}, [][]float32{data})
+}
+
+// Scatter is the tenant counterpart of Session.Scatter.
+func (t *Tenant) Scatter(ctx context.Context, data []float32, p int) (*Report, error) {
+	return t.run(ctx, plan.Request{Kind: plan.Scatter, P: p, B: len(data)}, [][]float32{data})
+}
+
+// Gather is the tenant counterpart of Session.Gather.
+func (t *Tenant) Gather(ctx context.Context, chunks [][]float32) (*Report, error) {
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	return t.run(ctx, plan.Request{Kind: plan.Gather, P: len(chunks), B: b}, chunks)
+}
+
+// ReduceScatter is the tenant counterpart of Session.ReduceScatter.
+func (t *Tenant) ReduceScatter(ctx context.Context, vectors [][]float32, op ReduceOp) (*Report, error) {
+	p, b := dims(vectors)
+	return t.run(ctx, plan.Request{Kind: plan.ReduceScatter, P: p, B: b, Op: op}, vectors)
+}
+
+// AllGather is the tenant counterpart of Session.AllGather.
+func (t *Tenant) AllGather(ctx context.Context, chunks [][]float32) (*Report, error) {
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	return t.run(ctx, plan.Request{Kind: plan.AllGather, P: len(chunks), B: b}, chunks)
 }
 
 func dims(vectors [][]float32) (p, b int) {
@@ -91,71 +276,60 @@ func dims(vectors [][]float32) (p, b int) {
 }
 
 // Reduce is the session counterpart of wse.Reduce: identical semantics
-// and bit-identical results, but the compiled plan is cached and replayed.
+// and bit-identical results, but the compiled plan is cached and
+// replayed. The Session-level collective methods serve under the default
+// tenant with no cancellation; use WithTenant for per-caller QoS and
+// context support.
 func (s *Session) Reduce(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.Reduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return s.def.Reduce(context.Background(), vectors, alg, op)
 }
 
 // AllReduce is the session counterpart of wse.AllReduce.
 func (s *Session) AllReduce(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.AllReduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return s.def.AllReduce(context.Background(), vectors, alg, op)
 }
 
 // AllReduceMidRoot is the session counterpart of wse.AllReduceMidRoot.
 func (s *Session) AllReduceMidRoot(vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.AllReduceMidRoot, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return s.def.AllReduceMidRoot(context.Background(), vectors, alg, op)
 }
 
 // Broadcast is the session counterpart of wse.Broadcast.
 func (s *Session) Broadcast(data []float32, p int) (*Report, error) {
-	return s.run(plan.Request{Kind: plan.Broadcast1D, P: p, B: len(data)}, [][]float32{data})
+	return s.def.Broadcast(context.Background(), data, p)
 }
 
 // Reduce2D is the session counterpart of wse.Reduce2D.
 func (s *Session) Reduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
-	_, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.Reduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+	return s.def.Reduce2D(context.Background(), vectors, width, height, alg, op)
 }
 
 // AllReduce2D is the session counterpart of wse.AllReduce2D.
 func (s *Session) AllReduce2D(vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
-	_, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.AllReduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+	return s.def.AllReduce2D(context.Background(), vectors, width, height, alg, op)
 }
 
 // Broadcast2D is the session counterpart of wse.Broadcast2D.
 func (s *Session) Broadcast2D(data []float32, width, height int) (*Report, error) {
-	return s.run(plan.Request{Kind: plan.Broadcast2D, Width: width, Height: height, B: len(data)}, [][]float32{data})
+	return s.def.Broadcast2D(context.Background(), data, width, height)
 }
 
 // Scatter is the session counterpart of wse.Scatter.
 func (s *Session) Scatter(data []float32, p int) (*Report, error) {
-	return s.run(plan.Request{Kind: plan.Scatter, P: p, B: len(data)}, [][]float32{data})
+	return s.def.Scatter(context.Background(), data, p)
 }
 
 // Gather is the session counterpart of wse.Gather.
 func (s *Session) Gather(chunks [][]float32) (*Report, error) {
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	return s.run(plan.Request{Kind: plan.Gather, P: len(chunks), B: b}, chunks)
+	return s.def.Gather(context.Background(), chunks)
 }
 
 // ReduceScatter is the session counterpart of wse.ReduceScatter.
 func (s *Session) ReduceScatter(vectors [][]float32, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return s.run(plan.Request{Kind: plan.ReduceScatter, P: p, B: b, Op: op}, vectors)
+	return s.def.ReduceScatter(context.Background(), vectors, op)
 }
 
 // AllGather is the session counterpart of wse.AllGather.
 func (s *Session) AllGather(chunks [][]float32) (*Report, error) {
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	return s.run(plan.Request{Kind: plan.AllGather, P: len(chunks), B: b}, chunks)
+	return s.def.AllGather(context.Background(), chunks)
 }
