@@ -1,0 +1,99 @@
+package wse
+
+// Benchmark of the batch-replay tier: what one replay of the tracked
+// reduce1d p=512 B=16 shape costs as a single Session.Run versus as one
+// entry of a RunBatch, in both result layouts. The per-run fixed cost of
+// a single replay is input binding plus result-map assembly (~100µs at
+// p=512); batching amortises the pool checkout and scheduling, and the
+// columnar layout removes the maps entirely. The headline numbers are
+// written to BENCH_api.json as a trajectory point.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkBatchReplay measures per-run replay cost in four modes:
+// {single, batch} × {map, columnar}. The acceptance bar is the batch
+// columns sitting below their single-run counterparts — batch replay
+// must cut the per-run fixed overhead.
+func BenchmarkBatchReplay(b *testing.B) {
+	const batchN = 16
+	sh := Shape{Kind: KindReduce, Alg: Auto, P: planBenchP, B: planBenchB, Op: Sum}
+	vectors := constVectors(planBenchP, planBenchB)
+	batches := make([][][]float32, batchN)
+	for i := range batches {
+		batches[i] = vectors
+	}
+	ctx := context.Background()
+	sess := NewSession(SessionConfig{})
+	defer sess.Close()
+	if _, err := sess.Run(ctx, sh, vectors); err != nil { // compile + warm the pool
+		b.Fatal(err)
+	}
+
+	point := map[string]any{
+		"bench":      "batch-replay",
+		"batch_size": batchN,
+		"shape": map[string]any{
+			"kind": "reduce1d", "alg": "auto",
+			"p": planBenchP, "b": planBenchB,
+		},
+	}
+	benchHostMeta(point)
+
+	perRun := map[string]float64{}
+	modes := []struct {
+		name string
+		opts []RunOption
+	}{
+		{"map", nil},
+		{"columnar", []RunOption{WithColumnarResult()}},
+	}
+	for _, mode := range modes {
+		b.Run("single-"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Run(ctx, sh, vectors, mode.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perRun["single_"+mode.name+"_ns_per_run"] =
+				float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+		b.Run("batch-"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.RunBatch(ctx, sh, batches, mode.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Per replayed run, not per RunBatch call: the comparison
+			// against the single column is what the batch tier is for.
+			perRun["batch_"+mode.name+"_ns_per_run"] =
+				float64(b.Elapsed().Nanoseconds()) / float64(b.N) / batchN
+		})
+	}
+
+	single, batchCol := perRun["single_map_ns_per_run"], perRun["batch_columnar_ns_per_run"]
+	if single > 0 && batchCol > 0 {
+		for k, v := range perRun {
+			point[k] = v
+		}
+		// The headlines: what batching saves per run in like-for-like
+		// layout, and the full single-map → batch-columnar overhead cut.
+		point["batch_saving_map_ns_per_run"] = perRun["single_map_ns_per_run"] - perRun["batch_map_ns_per_run"]
+		point["batch_saving_columnar_ns_per_run"] = perRun["single_columnar_ns_per_run"] - perRun["batch_columnar_ns_per_run"]
+		point["single_map_vs_batch_columnar"] = single / batchCol
+		b.ReportMetric(single/batchCol, "overhead-cut-x")
+		buf, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_api.json", append(buf, '\n'), 0o644); err != nil {
+			b.Logf("BENCH_api.json not written: %v", err)
+		}
+	}
+}

@@ -66,6 +66,8 @@ type config struct {
 	skew       int64
 	seed       uint64
 	repeat     int
+	batch      int
+	columnar   bool
 	workers    int
 	shards     int
 	maxCycles  int64
@@ -92,6 +94,8 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.Int64Var(&c.skew, "skew", 0, "max per-PE clock skew in cycles")
 	fs.Uint64Var(&c.seed, "seed", 1, "deterministic seed for skew/thermal")
 	fs.IntVar(&c.repeat, "repeat", 1, "run the collective this many times through the plan cache")
+	fs.IntVar(&c.batch, "batch", 1, "replay the collective this many times per request via RunBatch (amortised bind/assembly)")
+	fs.BoolVar(&c.columnar, "columnar", false, "skip per-PE result maps (WithColumnarResult)")
 	fs.IntVar(&c.workers, "workers", 0, "concurrent replays (0 = GOMAXPROCS)")
 	fs.IntVar(&c.shards, "shards", 0, "row-band shards per fabric simulation (0/1 = serial engine; results are bit-identical)")
 	fs.Int64Var(&c.maxCycles, "maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28; raise for very large serialized runs)")
@@ -232,10 +236,31 @@ func describe(sh wse.Shape, alg, alg2d string) string {
 
 // once builds the run closure for a shape: the inputs and the session
 // call that serves it. Both run and serve mode build inputs through
-// inputsFor, so a kind's arity is encoded exactly once.
-func once(sess *wse.Session, sh wse.Shape) func() (*wse.Report, error) {
+// inputsFor, so a kind's arity is encoded exactly once. With -batch N
+// each call replays the shape N times through RunBatch (one scheduled
+// request, one held simulator instance); -columnar skips the per-PE
+// result maps either way.
+func once(c *config, sess *wse.Session, sh wse.Shape) func() (*wse.Report, error) {
 	inputs := inputsFor(sh)
-	return func() (*wse.Report, error) { return sess.Run(sh, inputs) }
+	var opts []wse.RunOption
+	if c.columnar {
+		opts = append(opts, wse.WithColumnarResult())
+	}
+	ctx := context.Background()
+	if c.batch > 1 {
+		batches := make([][][]float32, c.batch)
+		for i := range batches {
+			batches[i] = inputs
+		}
+		return func() (*wse.Report, error) {
+			reps, err := sess.RunBatch(ctx, sh, batches, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return reps[len(reps)-1], nil
+		}
+	}
+	return func() (*wse.Report, error) { return sess.Run(ctx, sh, inputs, opts...) }
 }
 
 // exportCmd compiles the flag-specified shape into the plan store without
@@ -465,7 +490,7 @@ func runCmd(c *config) error {
 		cfg.Store = store
 	}
 	sess := wse.NewSession(cfg)
-	run := once(sess, sh)
+	run := once(c, sess, sh)
 
 	// Cold call: compiles the plan into the session cache (or, with a
 	// store attached, decodes the stored plan).

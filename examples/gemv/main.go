@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,8 +42,11 @@ func main() {
 			partials[pe] = part
 		}
 
-		// Communication: sum the partial vectors on the fabric.
-		rep, err := wse.Reduce(partials, wse.Auto, wse.Sum, wse.Options{})
+		// Communication: sum the partial vectors on the fabric. The reduce
+		// shape varies with m, which is exactly what the Shape-first API
+		// names: one Shape value drives the run and both model queries.
+		sh := wse.Shape{Kind: wse.KindReduce, Alg: wse.Auto, P: peCount, B: m, Op: wse.Sum}
+		rep, err := wse.Run(context.Background(), sh, partials)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,9 +60,11 @@ func main() {
 			}
 		}
 
-		vendor := wse.PredictReduce(wse.Chain, peCount, m, wse.Options{})
-		fmt.Printf("GEMV %5dx%d on %d PEs: reduce alg=%-8s %7d cycles (vendor chain would predict %7.0f, %4.2fx)\n",
-			m, n, peCount, alg, rep.Cycles, vendor, vendor/float64(rep.Cycles))
+		vendorShape := sh
+		vendorShape.Alg = wse.Chain
+		vendor := wse.Predict(vendorShape)
+		fmt.Printf("GEMV %5dx%d on %d PEs: reduce alg=%-8s %7d cycles (vendor chain would predict %7.0f, %4.2fx; bound %6.0f)\n",
+			m, n, peCount, alg, rep.Cycles, vendor, vendor/float64(rep.Cycles), wse.Bound(sh))
 	}
 }
 

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -22,6 +23,8 @@ const side = 16
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
+	sess := wse.NewSession(wse.SessionConfig{})
+	defer sess.Close()
 	fmt.Printf("data-parallel AllReduce on a %dx%d PE grid (one gradient shard per PE)\n\n", side, side)
 	fmt.Printf("%10s %12s %12s %10s %10s %8s\n", "grad size", "algorithm", "cycles", "us@850MHz", "vendor", "speedup")
 
@@ -35,7 +38,23 @@ func main() {
 			grads[i] = g
 		}
 
-		rep, err := wse.AllReduce2D(grads, side, side, wse.Auto2D, wse.Sum, wse.Options{})
+		// One Shape describes the step's collective; the vendor baseline
+		// is the same Shape with the mapping pinned to the X-Y chain.
+		sh := wse.Shape{Kind: wse.KindAllReduce2D, Alg2D: wse.Auto2D,
+			Width: side, Height: side, B: b, Op: wse.Sum}
+		vendorShape := sh
+		vendorShape.Alg2D = wse.XYChain
+
+		// Submit both runs asynchronously and overlap them — the async
+		// tier of the Shape-first API.
+		ctx := context.Background()
+		repFut := sess.Submit(ctx, sh, grads)
+		vendorFut := sess.Submit(ctx, vendorShape, grads)
+		rep, err := repFut.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		vendor, err := vendorFut.Wait()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,10 +72,6 @@ func main() {
 			}
 		}
 
-		vendor, err := wse.AllReduce2D(grads, side, side, wse.XYChain, wse.Sum, wse.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Printf("%9dB %12s %12d %10.2f %10d %7.2fx\n",
 			4*b, alg, rep.Cycles, float64(rep.Cycles)/850, vendor.Cycles,
 			float64(vendor.Cycles)/float64(rep.Cycles))

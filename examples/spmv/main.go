@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,27 +38,38 @@ func main() {
 		local[pe] = v
 	}
 
-	// Scalar AllReduce: the CG dot product. Compare the model's pick
-	// against Star (what the stencil code of [44] effectively used) and
-	// the vendor chain.
+	// Scalar AllReduce: the CG dot product. One Shape per candidate
+	// mapping — the model's pick, Star (what the stencil code of [44]
+	// effectively used) and the vendor chain — all served through one
+	// session so each compiles once.
+	ctx := context.Background()
+	sess := wse.NewSession(wse.SessionConfig{})
+	defer sess.Close()
 	opts := wse.Options{}
-	auto, err := wse.AllReduce(local, wse.Auto, wse.Sum, opts)
-	if err != nil {
-		log.Fatal(err)
+	dot := wse.Shape{Kind: wse.KindAllReduce, Alg: wse.Auto, P: peCount, B: 1, Op: wse.Sum}
+	runDot := func(alg wse.Algorithm) *wse.Report {
+		sh := dot
+		sh.Alg = alg
+		rep, err := sess.Run(ctx, sh, local)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
 	}
-	star, err := wse.AllReduce(local, wse.Star, wse.Sum, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	chain, err := wse.AllReduce(local, wse.Chain, wse.Sum, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	auto, star, chain := runDot(wse.Auto), runDot(wse.Star), runDot(wse.Chain)
 	alg, _ := wse.BestAlgorithm(peCount, 1, opts)
 	fmt.Printf("scalar dot-product AllReduce on %d PEs:\n", peCount)
-	fmt.Printf("  model pick (%s): %4d cycles\n", alg, auto.Cycles)
+	fmt.Printf("  model pick (%s): %4d cycles (bound %.0f)\n", alg, auto.Cycles, wse.Bound(dot))
 	fmt.Printf("  star  (as in Rocki et al.): %4d cycles\n", star.Cycles)
 	fmt.Printf("  chain (vendor):             %4d cycles\n", chain.Cycles)
+
+	// A CG step needs two dot products back to back: batch them so the
+	// fixed per-run costs (bind + result assembly) are paid once.
+	if reps, err := sess.RunBatch(ctx, dot, [][][]float32{local, local}, wse.WithColumnarResult()); err != nil {
+		log.Fatal(err)
+	} else if reps[0].Root[0] != auto.Root[0] {
+		log.Fatalf("batched dot product diverged: %v vs %v", reps[0].Root[0], auto.Root[0])
+	}
 
 	// Iterate re-assembly: each PE contributes its rowsPer slice of the
 	// new iterate; AllGather distributes the full vector to everyone.
@@ -71,12 +83,13 @@ func main() {
 		}
 		chunks[pe] = c
 	}
-	ag, err := wse.AllGather(chunks, opts)
+	agShape := wse.Shape{Kind: wse.KindAllGather, P: peCount, B: n}
+	ag, err := sess.Run(ctx, agShape, chunks)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\niterate AllGather of %d floats: %d cycles (predicted %.0f)\n",
-		n, ag.Cycles, wse.PredictAllGather(peCount, n, opts))
+		n, ag.Cycles, wse.Predict(agShape, wse.WithOptions(opts)))
 
 	// Verify the assembled iterate on a sample PE.
 	full := ag.All[wse.Coord{X: peCount / 2, Y: 0}]

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -31,6 +32,13 @@ func main() {
 	u := make([]float64, n)
 	u[n-1] = 1
 	next := make([]float64, n)
+
+	ctx := context.Background()
+	sess := wse.NewSession(wse.SessionConfig{})
+	defer sess.Close()
+	resShape := wse.Shape{Kind: wse.KindAllReduce, Alg: wse.Auto, P: peCount, B: 1, Op: wse.Max}
+	vendorShape := resShape
+	vendorShape.Alg = wse.Chain
 
 	var commCycles, vendorCycles int64
 	iter := 0
@@ -56,13 +64,16 @@ func main() {
 		u, next = next, u
 
 		// Fabric-side scalar Max AllReduce: every PE learns the global
-		// residual and decides locally whether to stop.
-		rep, err := wse.AllReduce(residuals, wse.Auto, wse.Max, wse.Options{})
+		// residual and decides locally whether to stop. The session
+		// compiles each shape once and replays it every iteration, and
+		// the columnar option skips the per-PE result maps the solver
+		// never reads — it only needs Root.
+		rep, err := sess.Run(ctx, resShape, residuals, wse.WithColumnarResult())
 		if err != nil {
 			log.Fatal(err)
 		}
 		commCycles += rep.Cycles
-		vendor, err := wse.AllReduce(residuals, wse.Chain, wse.Max, wse.Options{})
+		vendor, err := sess.Run(ctx, vendorShape, residuals, wse.WithColumnarResult())
 		if err != nil {
 			log.Fatal(err)
 		}

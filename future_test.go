@@ -1,0 +1,142 @@
+package wse
+
+// Tests of the async tier under -race (CI runs this package with the
+// race detector): double-Wait, wait-after-close, and abandoned futures.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFutureDoubleWait: Wait is idempotent and safe to call from many
+// goroutines — every caller sees the same report and error.
+func TestFutureDoubleWait(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	defer s.Close()
+	sh := Shape{Kind: KindReduce, Alg: Chain, P: 8, B: 4, Op: Sum}
+	vecs := constVectors(8, 4)
+	want, err := s.Run(context.Background(), sh, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := s.Submit(context.Background(), sh, vecs)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := fut.Wait()
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+			if rep.Cycles != want.Cycles || rep.Root[0] != want.Root[0] {
+				t.Errorf("Wait: cycles=%d root=%v, want cycles=%d root=%v",
+					rep.Cycles, rep.Root[0], want.Cycles, want.Root[0])
+			}
+		}()
+	}
+	wg.Wait()
+	// A Wait after everyone else finished still answers, as does Err.
+	if _, err := fut.Wait(); err != nil {
+		t.Fatalf("late Wait: %v", err)
+	}
+	if err := fut.Err(); err != nil {
+		t.Fatalf("Err after Wait: %v", err)
+	}
+	select {
+	case <-fut.Done():
+	default:
+		t.Fatal("Done channel not closed after resolution")
+	}
+}
+
+// TestFutureWaitAfterClose: submissions after Close resolve — not hang —
+// with ErrSessionClosed, and a future obtained before Close still
+// resolves after it.
+func TestFutureWaitAfterClose(t *testing.T) {
+	s := NewSession(SessionConfig{})
+	sh := Shape{Kind: KindReduce, Alg: Chain, P: 8, B: 4, Op: Sum}
+	vecs := constVectors(8, 4)
+	before := s.Submit(context.Background(), sh, vecs)
+	if _, err := before.Wait(); err != nil {
+		t.Fatalf("future submitted before Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The resolved future keeps answering after Close.
+	if _, err := before.Wait(); err != nil {
+		t.Fatalf("resolved future after Close: %v", err)
+	}
+	after := s.Submit(context.Background(), sh, vecs)
+	select {
+	case <-after.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("future submitted after Close never resolved")
+	}
+	if _, err := after.Wait(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("wait after close: %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestFutureAbandon: cancelling a submitted request's context and never
+// waiting on the future must not wedge the session — the scheduler
+// accounts the cancellation and keeps serving — and a later Wait on the
+// abandoned future still answers with the context error.
+func TestFutureAbandon(t *testing.T) {
+	s := NewSession(SessionConfig{Workers: 1})
+	defer s.Close()
+	sh := Shape{Kind: KindReduce, Alg: Chain, P: 8, B: 4, Op: Sum}
+	vecs := constVectors(8, 4)
+
+	// Occupy the only worker so cancelled submissions are still queued.
+	blockCtx := context.Background()
+	big := constVectors(32*32, 64)
+	blocker := s.Submit(blockCtx, Shape{Kind: KindReduce2D, Alg2D: Auto2D, Width: 32, Height: 32, B: 64, Op: Sum}, big)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make([]*Future, 4)
+	for i := range abandoned {
+		abandoned[i] = s.Submit(ctx, sh, vecs)
+	}
+	cancel()
+	// Deliberately do not Wait on most of them; one late Wait must see
+	// the cancellation (or, if its replay won the race, a real report).
+	if _, err := abandoned[0].Wait(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned future: %v, want ctx error or success", err)
+	}
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	// The session still serves fresh work after the abandonment.
+	if _, err := s.Run(context.Background(), sh, vecs); err != nil {
+		t.Fatalf("run after abandoned futures: %v", err)
+	}
+}
+
+// TestPackageSubmit: the one-shot async verb compiles and runs off the
+// caller's goroutine and resolves validation failures synchronously.
+func TestPackageSubmit(t *testing.T) {
+	sh := Shape{Kind: KindAllReduce, Alg: Tree, P: 6, B: 3, Op: Sum}
+	vecs := constVectors(6, 3)
+	rep, err := Submit(context.Background(), sh, vecs).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Root[0] != 6 {
+		t.Fatalf("allreduce of ones over 6 PEs: root %v, want 6", rep.Root[0])
+	}
+	bad := Submit(context.Background(), Shape{Kind: "nope", B: 1}, nil)
+	select {
+	case <-bad.Done():
+	default:
+		t.Fatal("invalid-shape future must resolve synchronously")
+	}
+	if err := bad.Err(); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("invalid shape: %v, want ErrBadShape", err)
+	}
+}

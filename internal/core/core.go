@@ -126,8 +126,13 @@ type Report struct {
 	// Root holds the reduction result at the root PE (Reduce) or the
 	// vector every PE holds (Broadcast/AllReduce).
 	Root []float32
-	// All maps every PE to its final accumulator.
+	// All maps every PE to its final accumulator. Columnar replays leave
+	// it nil and publish Columnar instead.
 	All map[mesh.Coord][]float32
+	// Columnar is the map-free per-PE result of a columnar replay (flat
+	// accumulator buffer indexed by row-major coordinate order); nil on
+	// the default map-shaped path.
+	Columnar *fabric.ColumnarResult
 	// Stats carries the measured cost metrics (energy, contention, ...).
 	Stats fabric.Stats
 }
@@ -267,6 +272,19 @@ func runSpec(spec *fabric.Spec, opt fabric.Options) (*fabric.Result, error) {
 // itself (to reuse instances across runs) and reports through here.
 func ReportOf(res *fabric.Result, predicted float64) *Report {
 	return report(res, predicted)
+}
+
+// ReportOfColumnar wraps a columnar fabric result: Root comes straight
+// from the flat buffer and All stays nil — callers read per-PE state
+// through Report.Columnar.
+func ReportOfColumnar(res *fabric.ColumnarResult, predicted float64) *Report {
+	return &Report{
+		Cycles:    res.Cycles,
+		Predicted: predicted,
+		Root:      res.Root,
+		Columnar:  res,
+		Stats:     res.Stats,
+	}
 }
 
 func report(res *fabric.Result, predicted float64) *Report {

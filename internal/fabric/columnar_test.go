@@ -1,0 +1,74 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// TestColumnarMatchesMapResult: RunColumnar must report exactly what Run
+// reports — same cycles, same stats, same per-PE accumulators — with the
+// flat layout consistent (offsets monotone, At agreeing with the map),
+// including across Reset replays reusing one result's buffers.
+func TestColumnarMatchesMapResult(t *testing.T) {
+	for _, opt := range []Options{
+		{},
+		{ThermalNoopRate: 0.05, Seed: 9, ClockSkewMax: 64},
+	} {
+		spec := twoPE(32)
+		f, err := New(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		g, err := New(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res ColumnarResult
+		for rep := 0; rep < 3; rep++ {
+			if err := g.RunColumnar(&res); err != nil {
+				t.Fatalf("replay %d: %v", rep, err)
+			}
+			if res.Cycles != want.Cycles {
+				t.Fatalf("replay %d: cycles %d, want %d", rep, res.Cycles, want.Cycles)
+			}
+			if res.Stats != want.Stats {
+				t.Fatalf("replay %d: stats %+v, want %+v", rep, res.Stats, want.Stats)
+			}
+			if len(res.Coords) != len(want.Acc) || len(res.Off) != len(res.Coords)+1 {
+				t.Fatalf("replay %d: %d coords, %d offsets; want %d PEs", rep, len(res.Coords), len(res.Off), len(want.Acc))
+			}
+			for i, c := range res.Coords {
+				w := want.Acc[c]
+				g := res.Acc[res.Off[i]:res.Off[i+1]]
+				if len(g) != len(w) {
+					t.Fatalf("PE %v: acc length %d, want %d", c, len(g), len(w))
+				}
+				for j := range w {
+					if g[j] != w[j] {
+						t.Fatalf("PE %v: acc[%d] = %v, want %v", c, j, g[j], w[j])
+					}
+				}
+				at := res.At(c)
+				if len(at) != len(w) || (len(w) > 0 && &at[0] != &g[0]) {
+					t.Fatalf("PE %v: At disagrees with offset slice", c)
+				}
+			}
+			root := want.Acc[mesh.Coord{}]
+			if len(res.Root) != len(root) || (len(root) > 0 && res.Root[0] != root[0]) {
+				t.Fatalf("root %v, want %v", res.Root, root)
+			}
+			if res.At(mesh.Coord{X: 99, Y: 99}) != nil {
+				t.Fatal("At of an unprogrammed PE must be nil")
+			}
+			if err := g.Reset(spec); err != nil {
+				t.Fatalf("reset %d: %v", rep, err)
+			}
+		}
+	}
+}

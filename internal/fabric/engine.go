@@ -755,13 +755,35 @@ func (sh *shardState) phaseSync() {
 // remains), protocol violations (control wavelets out of place), or cycle
 // overrun.
 func (f *Fabric) Run() (*Result, error) {
+	if err := f.runToCompletion(); err != nil {
+		return nil, err
+	}
+	return f.result()
+}
+
+// RunColumnar is Run with map-free result assembly: the final
+// accumulators land concatenated in res (see ColumnarResult), reusing
+// res's buffers across calls, and no per-PE maps or clock samples are
+// built. It exists for the batch-replay path, where result-map
+// construction is the dominant per-run fixed cost.
+func (f *Fabric) RunColumnar(res *ColumnarResult) error {
+	if err := f.runToCompletion(); err != nil {
+		return err
+	}
+	return f.resultColumnar(res)
+}
+
+// runToCompletion steps the engine until the program finishes and the
+// network drains; result assembly is the caller's choice (maps via
+// result, flat via resultColumnar).
+func (f *Fabric) runToCompletion() error {
 	defer f.stopWorkers()
 	for {
 		pending, inflight, active := 0, int64(0), 0
 		for si := range f.shards {
 			sh := &f.shards[si]
 			if sh.err != nil {
-				return nil, sh.err
+				return sh.err
 			}
 			pending += sh.pending
 			inflight += sh.qPushes - sh.qPops
@@ -771,10 +793,10 @@ func (f *Fabric) Run() (*Result, error) {
 			break
 		}
 		if active == 0 {
-			return nil, fmt.Errorf("fabric: deadlock at cycle %d; %s", f.cycle, f.describeStall())
+			return fmt.Errorf("fabric: deadlock at cycle %d; %s", f.cycle, f.describeStall())
 		}
 		if f.cycle >= f.opt.MaxCycles {
-			return nil, fmt.Errorf("fabric: exceeded %d cycles; %s", f.opt.MaxCycles, f.describeStall())
+			return fmt.Errorf("fabric: exceeded %d cycles; %s", f.opt.MaxCycles, f.describeStall())
 		}
 		if len(f.shards) > 1 && active >= shardDispatchThreshold {
 			f.dispatch(phaseStep)
@@ -789,7 +811,7 @@ func (f *Fabric) Run() (*Result, error) {
 		}
 		f.cycle++
 	}
-	return f.result()
+	return nil
 }
 
 // dispatch fans one phase out to the worker goroutines and waits for all

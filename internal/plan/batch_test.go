@@ -1,0 +1,53 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+)
+
+// TestExecuteBatchMatchesSingleAndCancels: a plan-level batch is
+// entry-for-entry identical to single Executes, and a cancelled context
+// stops the batch at an entry boundary with ctx.Err().
+func TestExecuteBatchMatchesSingleAndCancels(t *testing.T) {
+	p, err := Compile(Request{Kind: Reduce1D, Alg: core.Chain, P: 6, B: 4, Op: fabric.OpSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([][][]float32, 3)
+	for i := range batches {
+		in := make([][]float32, 6)
+		for j := range in {
+			in[j] = []float32{float32(i + 1), 2, 3, float32(j)}
+
+		}
+		batches[i] = in
+	}
+	reps, err := p.ExecuteBatch(context.Background(), batches, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		single, err := p.Execute(batches[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cycles != single.Cycles || rep.Root[0] != single.Root[0] || rep.Root[3] != single.Root[3] {
+			t.Fatalf("entry %d: batch (%d cycles, root %v) vs single (%d cycles, root %v)",
+				i, rep.Cycles, rep.Root, single.Cycles, single.Root)
+		}
+	}
+
+	// nil ctx means no cancellation; a dead ctx stops before any replay.
+	if _, err := p.ExecuteBatch(nil, batches, ExecOptions{}); err != nil {
+		t.Fatalf("nil ctx batch: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if reps, err := p.ExecuteBatch(ctx, batches, ExecOptions{}); !errors.Is(err, context.Canceled) || reps != nil {
+		t.Fatalf("cancelled batch: reps=%v err=%v, want nil + context.Canceled", reps, err)
+	}
+}

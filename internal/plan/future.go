@@ -1,0 +1,47 @@
+package plan
+
+// Async futures: the non-blocking face of Session.Submit. An Async is
+// resolved exactly once; every accessor is safe to call from any number
+// of goroutines, any number of times, before or after resolution — Wait
+// and Err block until resolved, Done exposes the resolution for select
+// loops. An abandoned Async (submitted, never waited on) leaks nothing:
+// the resolving goroutine writes the result, closes done and exits.
+
+import "repro/internal/core"
+
+// Async is a submitted replay's future.
+type Async struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Done returns a channel closed when the result is ready.
+func (a *Async) Done() <-chan struct{} { return a.done }
+
+// Wait blocks until the result is ready and returns it. Calling Wait
+// repeatedly (or concurrently) returns the same values.
+func (a *Async) Wait() (*core.Report, error) { <-a.done; return a.rep, a.err }
+
+// Err blocks until the result is ready and returns its error, nil on
+// success.
+func (a *Async) Err() error { <-a.done; return a.err }
+
+// Go runs fn on its own goroutine and returns the Async it resolves.
+func Go(fn func() (*core.Report, error)) *Async {
+	a := &Async{done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		a.rep, a.err = fn()
+	}()
+	return a
+}
+
+// Fail returns an already-resolved Async carrying err — for submission
+// paths that reject synchronously (admission control, shape validation)
+// but must still hand back a future.
+func Fail(err error) *Async {
+	a := &Async{done: make(chan struct{}), err: err}
+	close(a.done)
+	return a
+}

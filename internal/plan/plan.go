@@ -11,6 +11,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -395,6 +396,32 @@ func (p *Plan) setInits(s *fabric.Spec, inputs [][]float32) error {
 	return nil
 }
 
+// checkInputs validates one replay's input arity without binding it —
+// the validation half of setInits, for callers (the batch path) that
+// want every entry vetted before any simulation runs.
+func (p *Plan) checkInputs(inputs [][]float32) error {
+	switch p.Kind {
+	case Broadcast1D, Broadcast2D, Scatter:
+		if len(inputs) != 1 || len(inputs[0]) != p.B {
+			return fmt.Errorf("plan: %s wants one %d-element vector", p.Kind, p.B)
+		}
+	case Gather, AllGather:
+		if len(inputs) != p.P {
+			return fmt.Errorf("plan: %s wants %d chunks, got %d", p.Kind, p.P, len(inputs))
+		}
+		if b, err := core.CheckChunks(inputs); err != nil {
+			return err
+		} else if b != p.B {
+			return fmt.Errorf("plan: chunks total %d elements, plan wants %d", b, p.B)
+		}
+	case Reduce2D, AllReduce2D:
+		return checkVectors(inputs, p.Width*p.Height, p.B)
+	default:
+		return checkVectors(inputs, p.P, p.B)
+	}
+	return nil
+}
+
 func checkVectors(inputs [][]float32, n, b int) error {
 	if len(inputs) != n {
 		return fmt.Errorf("plan: %d input vectors, want %d", len(inputs), n)
@@ -405,6 +432,17 @@ func checkVectors(inputs [][]float32, n, b int) error {
 		}
 	}
 	return nil
+}
+
+// ExecOptions tune one replay. The zero value is the default map-shaped
+// result path.
+type ExecOptions struct {
+	// Columnar skips the per-PE result maps: Report.All stays nil and the
+	// accumulators land flat in Report.Columnar. For small plans the map
+	// construction is the dominant per-run fixed cost, so callers that
+	// only read Report.Root (or stream PEs in order) replay measurably
+	// faster with Columnar set.
+	Columnar bool
 }
 
 // Execute replays the plan with fresh inputs on the fabric simulator.
@@ -418,6 +456,102 @@ func checkVectors(inputs [][]float32, n, b int) error {
 // actually being fast end-to-end. Concurrent replays each get their own
 // instance (or a fresh one when the pool is empty).
 func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
+	return p.ExecuteOpts(inputs, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with per-replay options.
+func (p *Plan) ExecuteOpts(inputs [][]float32, eo ExecOptions) (*core.Report, error) {
+	pf, err := p.checkout(inputs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.runOn(pf, eo)
+	if err != nil {
+		// Keep failed instances out of the pool: the error path is cold
+		// and a fresh New is the conservative restart.
+		return nil, err
+	}
+	p.pool.Put(pf)
+	return rep, nil
+}
+
+// ExecuteBatch replays the plan once per entry of batches, all on one
+// fabric instance held across the whole batch. Replaying N inputs this
+// way pays the pool checkout once and, with Columnar set, shares one
+// offset table across the batch and skips every per-run result map — the
+// amortisation that collapses the fixed bind+assembly cost of small
+// plans. Reports are returned in batch order; results never alias each
+// other. ctx (nil means none) is observed between entries: cancellation
+// mid-batch stops before the next replay and returns ctx.Err(), so an
+// abandoned batch does not pin a worker for its full length. Concurrent
+// ExecuteBatch calls (or batch racing single Execute) are safe — each
+// holds its own instance.
+func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecOptions) ([]*core.Report, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	// Validate every batch entry before simulating any: a malformed entry
+	// mid-batch must not discard completed work for a shape error the
+	// caller could have been told about up front.
+	for i, inputs := range batches {
+		if err := p.checkInputs(inputs); err != nil {
+			return nil, fmt.Errorf("plan: batch entry %d: %w", i, err)
+		}
+	}
+	reports := make([]*core.Report, len(batches))
+	var pf *pooledFabric
+	var off []int // offset table shared across the batch's columnar results
+	for i, inputs := range batches {
+		if ctx != nil && ctx.Err() != nil {
+			if pf != nil {
+				p.pool.Put(pf) // the instance is healthy; only the caller left
+			}
+			return nil, ctx.Err()
+		}
+		if pf == nil {
+			var err error
+			if pf, err = p.checkout(inputs); err != nil {
+				return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
+			}
+		} else {
+			if err := p.setInits(pf.s, inputs); err != nil {
+				p.pool.Put(pf)
+				return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
+			}
+			if err := pf.f.Reset(pf.s); err != nil {
+				return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
+			}
+		}
+		var rep *core.Report
+		var err error
+		if eo.Columnar {
+			// Seeding each run's result with the previous offsets shares
+			// one backing array: the offsets depend only on the program,
+			// so every report in the batch sees identical values.
+			res := &fabric.ColumnarResult{Off: off}
+			if err = pf.f.RunColumnar(res); err == nil {
+				off = res.Off
+				rep = core.ReportOfColumnar(res, p.Predicted)
+			}
+		} else {
+			var raw *fabric.Result
+			if raw, err = pf.f.Run(); err == nil {
+				rep = core.ReportOf(raw, p.Predicted)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
+		}
+		reports[i] = rep
+	}
+	p.pool.Put(pf)
+	return reports, nil
+}
+
+// checkout produces a run-ready fabric instance bound to inputs: a pooled
+// instance re-armed in place when one is free, a freshly constructed one
+// otherwise.
+func (p *Plan) checkout(inputs [][]float32) (*pooledFabric, error) {
 	pf, _ := p.pool.Get().(*pooledFabric)
 	if pf == nil {
 		s, err := p.bind(inputs)
@@ -428,26 +562,35 @@ func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		pf = &pooledFabric{f: f, s: s}
-	} else {
-		// Rebind the inputs into the pooled spec in place: the fabric sees
-		// the same spec object it was armed from and takes its fast Reset
-		// path (no per-PE map lookups or structural re-validation).
-		if err := p.setInits(pf.s, inputs); err != nil {
-			p.pool.Put(pf)
+		return &pooledFabric{f: f, s: s}, nil
+	}
+	// Rebind the inputs into the pooled spec in place: the fabric sees
+	// the same spec object it was armed from and takes its fast Reset
+	// path (no per-PE map lookups or structural re-validation).
+	if err := p.setInits(pf.s, inputs); err != nil {
+		p.pool.Put(pf)
+		return nil, err
+	}
+	if err := pf.f.Reset(pf.s); err != nil {
+		return nil, err
+	}
+	return pf, nil
+}
+
+// runOn executes one replay on a checked-out instance and assembles the
+// report in the requested layout.
+func (p *Plan) runOn(pf *pooledFabric, eo ExecOptions) (*core.Report, error) {
+	if eo.Columnar {
+		res := &fabric.ColumnarResult{}
+		if err := pf.f.RunColumnar(res); err != nil {
 			return nil, err
 		}
-		if err := pf.f.Reset(pf.s); err != nil {
-			return nil, err
-		}
+		return core.ReportOfColumnar(res, p.Predicted), nil
 	}
 	res, err := pf.f.Run()
 	if err != nil {
-		// Keep failed instances out of the pool: the error path is cold
-		// and a fresh New is the conservative restart.
 		return nil, err
 	}
-	p.pool.Put(pf)
 	return core.ReportOf(res, p.Predicted), nil
 }
 

@@ -77,16 +77,30 @@ func (s *Session) RunContext(ctx context.Context, req Request, inputs [][]float3
 // cache, so a flooding tenant cannot burn compile cycles or evict other
 // tenants' hot plans with requests that never run.
 func (s *Session) Submit(ctx context.Context, tenant string, req Request, inputs [][]float32) (*core.Report, error) {
+	return s.SubmitOpts(ctx, tenant, req, inputs, ExecOptions{})
+}
+
+// SubmitOpts is Submit with per-replay execution options (columnar
+// result assembly).
+func (s *Session) SubmitOpts(ctx context.Context, tenant string, req Request, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
 	if err := s.sch.Admit(ctx, tenant); err != nil {
 		return nil, err
 	}
+	return s.submitAdmitted(ctx, tenant, req, inputs, eo)
+}
+
+// submitAdmitted is the tail of SubmitOpts after the admission
+// pre-check: plan acquisition in the caller's goroutine, then the
+// scheduled replay (whose Submit re-runs the authoritative queue-time
+// admission check).
+func (s *Session) submitAdmitted(ctx context.Context, tenant string, req Request, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
 	p, err := s.cache.Get(req)
 	if err != nil {
 		return nil, err
 	}
 	var rep *core.Report
 	if err := s.sch.Submit(ctx, tenant, func(context.Context) error {
-		r, e := p.Execute(inputs)
+		r, e := p.ExecuteOpts(inputs, eo)
 		rep = r
 		return e
 	}); err != nil {
@@ -95,9 +109,57 @@ func (s *Session) Submit(ctx context.Context, tenant string, req Request, inputs
 	return rep, nil
 }
 
+// SubmitAsync is Submit that returns immediately with a future instead
+// of blocking. Admission is checked synchronously — an overloaded tenant
+// or closed session comes back as an already-resolved Async, so async
+// callers shed load exactly as fast as blocking ones — then plan
+// acquisition and the scheduled replay proceed on their own goroutine.
+// Cancelling ctx while the request is queued or running resolves the
+// future with ctx.Err() under the scheduler's usual accounting.
+func (s *Session) SubmitAsync(ctx context.Context, tenant string, req Request, inputs [][]float32, eo ExecOptions) *Async {
+	if err := s.sch.Admit(ctx, tenant); err != nil {
+		return Fail(err)
+	}
+	return Go(func() (*core.Report, error) {
+		return s.submitAdmitted(ctx, tenant, req, inputs, eo)
+	})
+}
+
+// SubmitBatch compiles (or fetches) the plan for req once and replays it
+// across every entry of batches as a single scheduled request: one queue
+// slot, one dispatch, one fabric instance held across the batch (see
+// Plan.ExecuteBatch). The whole batch is one unit of scheduling — QoS
+// weight accounting sees one request. Cancelling ctx mid-batch returns
+// immediately; the worker finishes the replay in flight, observes the
+// cancellation at the next entry boundary and abandons the rest of the
+// batch, so a cancelled batch does not pin a worker for its full length.
+func (s *Session) SubmitBatch(ctx context.Context, tenant string, req Request, batches [][][]float32, eo ExecOptions) ([]*core.Report, error) {
+	if err := s.sch.Admit(ctx, tenant); err != nil {
+		return nil, err
+	}
+	p, err := s.cache.Get(req)
+	if err != nil {
+		return nil, err
+	}
+	var reps []*core.Report
+	if err := s.sch.Submit(ctx, tenant, func(c context.Context) error {
+		r, e := p.ExecuteBatch(c, batches, eo)
+		reps = r
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
 // SetTenant registers (or live-reconfigures) a tenant's weight, priority
 // class and queue bound.
 func (s *Session) SetTenant(name string, cfg sched.TenantConfig) { s.sch.SetTenant(name, cfg) }
+
+// RemoveTenant deletes a tenant from the scheduler, releasing its queue,
+// latency sketches and accounting; still-queued requests fail with
+// sched.ErrTenantRemoved. It reports whether the tenant existed.
+func (s *Session) RemoveTenant(name string) bool { return s.sch.RemoveTenant(name) }
 
 // Stats snapshots the plan-cache accounting.
 func (s *Session) Stats() CacheStats { return s.cache.Stats() }

@@ -78,6 +78,10 @@ var ErrOverloaded = errors.New("sched: tenant queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("sched: scheduler closed")
 
+// ErrTenantRemoved is returned by requests that were still queued when
+// their tenant was removed out from under them.
+var ErrTenantRemoved = errors.New("sched: tenant removed")
+
 // TenantConfig sets a tenant's share of the pool. The zero value is a
 // weight-1 Batch tenant with the default queue bound.
 type TenantConfig struct {
@@ -224,6 +228,51 @@ func (s *Scheduler) SetTenant(name string, cfg TenantConfig) {
 		tn.vtime = s.floors[cfg.Priority]
 	}
 	tn.cfg = cfg
+}
+
+// RemoveTenant deletes a tenant and releases everything its name pinned:
+// the queue slice, both latency sketches and the accounting (together a
+// few KB per name — what makes per-user tenancy viable). It reports
+// whether the tenant existed. Requests still queued under the tenant fail
+// immediately with ErrTenantRemoved and are accounted as rejected (the
+// per-tenant balance holds up to the moment the stats vanish with the
+// tenant); requests already running complete normally, but their terminal
+// accounting goes down with the removed tenant. A name removed while in
+// use is not reserved: the next Submit or SetTenant under it starts a
+// fresh tenant at the default config and a zeroed ledger.
+func (s *Scheduler) RemoveTenant(name string) bool {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	s.mu.Lock()
+	tn, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.tenants, name)
+	var dropped []*task
+	for _, t := range tn.q {
+		if t.state != taskQueued {
+			continue
+		}
+		t.state = taskDone
+		t.err = ErrTenantRemoved
+		t.run = nil
+		t.ctx = nil
+		tn.stats.Rejected++
+		tn.depth--
+		s.depth--
+		dropped = append(dropped, t)
+	}
+	tn.q = nil
+	s.mu.Unlock()
+	// Wake the dropped submitters outside the lock; their Submit returns
+	// the task error, exactly as a served-but-failed request would.
+	for _, t := range dropped {
+		close(t.done)
+	}
+	return true
 }
 
 func (s *Scheduler) tenantLocked(name string) *tenant {

@@ -563,3 +563,91 @@ func TestStatsQuantiles(t *testing.T) {
 		t.Fatalf("p99 %v < p50 %v", ts.ExecP99, ts.ExecP50)
 	}
 }
+
+// TestRemoveTenant: removing a tenant fails its queued requests with
+// ErrTenantRemoved immediately, drops the tenant from the stats (its
+// sketches and queue are released), leaves other tenants untouched, and
+// un-reserves the name — the next submission under it starts a fresh
+// default-config tenant.
+func TestRemoveTenant(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	release, wait := gate(t, s, "blocker", 1)
+
+	s.SetTenant("victim", TenantConfig{Weight: 7, Priority: Background})
+	queued := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			queued <- s.Submit(context.Background(), "victim", func(context.Context) error { return nil })
+		}()
+	}
+	waitCond(t, func() bool { return s.Stats().Tenants["victim"].Depth == 3 }, "victim backlog")
+
+	if !s.RemoveTenant("victim") {
+		t.Fatal("RemoveTenant on a live tenant reported false")
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-queued:
+			if !errors.Is(err, ErrTenantRemoved) {
+				t.Fatalf("queued request: %v, want ErrTenantRemoved", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued request not failed by RemoveTenant")
+		}
+	}
+	if _, ok := s.Stats().Tenants["victim"]; ok {
+		t.Fatal("removed tenant still present in Stats")
+	}
+	if s.RemoveTenant("victim") {
+		t.Fatal("second RemoveTenant reported true")
+	}
+	if s.RemoveTenant("never-existed") {
+		t.Fatal("RemoveTenant of an unknown name reported true")
+	}
+
+	release()
+	wait()
+
+	// The name is free again: a fresh submission recreates the tenant at
+	// the default config with a zeroed ledger.
+	if err := s.Submit(context.Background(), "victim", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("submit after removal: %v", err)
+	}
+	ts := s.Stats().Tenants["victim"]
+	if ts.Submitted != 1 || ts.Served != 1 || ts.Weight != 1 || ts.Class != "batch" {
+		t.Fatalf("recreated tenant ledger %+v, want fresh default-config tenant", ts)
+	}
+	// The blocker's ledger was never disturbed.
+	if bs := s.Stats().Tenants["blocker"]; bs.Served != 1 {
+		t.Fatalf("blocker stats disturbed: %+v", bs)
+	}
+}
+
+// TestRemoveTenantWhileRunning: removing a tenant whose request is
+// mid-run neither cancels the run nor corrupts the pool accounting.
+func TestRemoveTenantWhileRunning(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	started := make(chan struct{})
+	releaseRun := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Submit(context.Background(), "ephemeral", func(context.Context) error {
+			close(started)
+			<-releaseRun
+			return nil
+		})
+	}()
+	<-started
+	if !s.RemoveTenant("ephemeral") {
+		t.Fatal("RemoveTenant on a tenant with a running request reported false")
+	}
+	close(releaseRun)
+	if err := <-done; err != nil {
+		t.Fatalf("running request failed after tenant removal: %v", err)
+	}
+	if st := s.Stats(); st.Pool.Running != 0 || st.Pool.Depth != 0 {
+		t.Fatalf("pool accounting off after removal: %+v", st.Pool)
+	}
+}

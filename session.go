@@ -14,6 +14,7 @@ package wse
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/plan"
 	"repro/internal/sched"
@@ -93,6 +94,10 @@ var ErrOverloaded = sched.ErrOverloaded
 // ErrSessionClosed is returned by requests submitted after Close.
 var ErrSessionClosed = sched.ErrClosed
 
+// ErrTenantRemoved is returned by requests that were still queued when
+// Session.RemoveTenant deleted their tenant.
+var ErrTenantRemoved = sched.ErrTenantRemoved
+
 // DefaultSessionMaxCycles is the per-run cycle cap a Session applies when
 // its Options leave MaxCycles at zero. The bare simulator defaults to
 // 2^34 cycles — days of wall-clock for a large sharded run gone wrong —
@@ -157,15 +162,23 @@ func (s *Session) Close() error { return s.s.Close() }
 // session's plan cache — tenancy is a scheduling identity, not a cache
 // partition.
 //
-// Tenants are meant to be a small, bounded set of serving classes (a
-// front-end pool, a batch pipeline, a scavenger), not one per end user:
-// every distinct name permanently holds its queue, latency sketches and
-// accounting for the session's lifetime, and dispatch scans the tenant
-// set.
+// Each distinct name holds its queue, latency sketches and accounting
+// (a few KB) until RemoveTenant releases them; dispatch scans the
+// tenant set, so very large dynamic tenant populations should recycle
+// names they are done with.
 func (s *Session) WithTenant(name string, cfg TenantConfig) *Tenant {
 	s.s.SetTenant(name, cfg)
 	return &Tenant{s: s, name: name}
 }
+
+// RemoveTenant deletes a tenant and releases everything its name held:
+// queue, latency sketches, accounting. Requests still queued under it
+// fail immediately with ErrTenantRemoved; running ones complete. The
+// name is free for reuse afterwards — existing handles still work but
+// resubmit under a fresh default-config tenant. It reports whether the
+// tenant existed. This is the lifecycle half of per-user tenancy: serve
+// a user under their own name, remove the name when they go idle.
+func (s *Session) RemoveTenant(name string) bool { return s.s.RemoveTenant(name) }
 
 // Tenant serves collectives on its Session under one tenant's QoS. Its
 // methods mirror the Session's, plus a context: cancelling it unqueues a
@@ -180,91 +193,156 @@ type Tenant struct {
 // Name returns the tenant name the handle submits under.
 func (t *Tenant) Name() string { return t.name }
 
-func (t *Tenant) run(ctx context.Context, req plan.Request, inputs [][]float32) (*Report, error) {
-	req.Opt = t.s.opt
-	return t.s.s.Submit(ctx, t.name, req, inputs)
+// call resolves per-call options against the session's configuration:
+// absent a WithOptions the session's Options apply; an explicit
+// WithOptions replaces them for this call (compiling and caching a plan
+// under the overridden options) with the session's MaxCycles default
+// still applied.
+func (s *Session) call(opts []Option) callOpts {
+	c := resolveOpts(opts)
+	if !c.optSet {
+		c.opt = s.opt
+	} else if c.opt.MaxCycles == 0 {
+		c.opt.MaxCycles = DefaultSessionMaxCycles
+	}
+	return c
 }
 
-// Run serves any collective named by a Shape — the dynamic counterpart
-// of the typed methods below, for callers (like a serving front-end)
-// that route decoded requests.
-func (t *Tenant) Run(ctx context.Context, sh Shape, inputs [][]float32) (*Report, error) {
-	return t.s.s.Submit(ctx, t.name, sh.request(t.s.opt), inputs)
+// Run serves any collective named by a Shape under the tenant's QoS —
+// the Shape-first entry point the typed methods below wrap. The plan is
+// compiled on the first call for a shape and replayed from the session's
+// cache afterwards. Cancelling ctx unqueues a request still waiting for
+// a worker (returning ctx.Err() immediately) or abandons a running one,
+// which the accounting counts as cancelled rather than served.
+func (t *Tenant) Run(ctx context.Context, sh Shape, inputs [][]float32, opts ...RunOption) (*Report, error) {
+	c := t.s.call(opts)
+	if err := sh.checkRun(inputs); err != nil {
+		return nil, err
+	}
+	return t.s.s.SubmitOpts(ctx, t.name, sh.request(c.opt), inputs, c.execOpts())
 }
 
-// Run is the session-level (default-tenant, no cancellation) counterpart
-// of Tenant.Run: it serves any collective named by a Shape.
-func (s *Session) Run(sh Shape, inputs [][]float32) (*Report, error) {
-	return s.def.Run(context.Background(), sh, inputs)
+// Submit is Run returning immediately with a Future. Admission control
+// runs synchronously — an overloaded tenant or closed session comes back
+// as an already-resolved Future — and the replay is then scheduled under
+// the tenant's QoS like any blocking Run.
+func (t *Tenant) Submit(ctx context.Context, sh Shape, inputs [][]float32, opts ...RunOption) *Future {
+	c := t.s.call(opts)
+	if err := sh.checkRun(inputs); err != nil {
+		return plan.Fail(err)
+	}
+	return t.s.s.SubmitAsync(ctx, t.name, sh.request(c.opt), inputs, c.execOpts())
+}
+
+// RunBatch replays one Shape across every entry of batches (batches[i]
+// is one Run's worth of inputs) as a single scheduled request: one queue
+// slot, one plan acquisition, one pooled simulator instance held across
+// the batch — so the per-run fixed cost of binding inputs and
+// assembling results is amortised batch-wide. Reports come back in
+// batch order. Combine with WithColumnarResult to skip the per-run
+// result maps as well.
+func (t *Tenant) RunBatch(ctx context.Context, sh Shape, batches [][][]float32, opts ...RunOption) ([]*Report, error) {
+	c := t.s.call(opts)
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	for i, inputs := range batches {
+		if err := sh.checkInputs(inputs); err != nil {
+			return nil, fmt.Errorf("batch entry %d: %w", i, err)
+		}
+	}
+	return t.s.s.SubmitBatch(ctx, t.name, sh.request(c.opt), batches, c.execOpts())
+}
+
+// Predict returns the model estimate for sh under the session's Options
+// (or an explicit WithOptions).
+func (t *Tenant) Predict(sh Shape, opts ...Option) float64 { return t.s.Predict(sh, opts...) }
+
+// Bound returns the runtime lower bound for sh under the session's
+// Options (or an explicit WithOptions).
+func (t *Tenant) Bound(sh Shape, opts ...Option) float64 { return t.s.Bound(sh, opts...) }
+
+// Run is the session-level counterpart of Tenant.Run: it serves any
+// collective named by a Shape under the default tenant.
+func (s *Session) Run(ctx context.Context, sh Shape, inputs [][]float32, opts ...RunOption) (*Report, error) {
+	return s.def.Run(ctx, sh, inputs, opts...)
+}
+
+// Submit is the session-level counterpart of Tenant.Submit.
+func (s *Session) Submit(ctx context.Context, sh Shape, inputs [][]float32, opts ...RunOption) *Future {
+	return s.def.Submit(ctx, sh, inputs, opts...)
+}
+
+// RunBatch is the session-level counterpart of Tenant.RunBatch.
+func (s *Session) RunBatch(ctx context.Context, sh Shape, batches [][][]float32, opts ...RunOption) ([]*Report, error) {
+	return s.def.RunBatch(ctx, sh, batches, opts...)
+}
+
+// Predict returns the model estimate for sh under the session's Options
+// (or an explicit WithOptions).
+func (s *Session) Predict(sh Shape, opts ...Option) float64 {
+	return Predict(sh, WithOptions(s.call(opts).opt))
+}
+
+// Bound returns the runtime lower bound for sh under the session's
+// Options (or an explicit WithOptions).
+func (s *Session) Bound(sh Shape, opts ...Option) float64 {
+	return Bound(sh, WithOptions(s.call(opts).opt))
 }
 
 // Reduce is the tenant counterpart of Session.Reduce.
 func (t *Tenant) Reduce(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.Reduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return t.Run(ctx, reduceShape(KindReduce, vectors, alg, op), vectors)
 }
 
 // AllReduce is the tenant counterpart of Session.AllReduce.
 func (t *Tenant) AllReduce(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.AllReduce1D, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return t.Run(ctx, reduceShape(KindAllReduce, vectors, alg, op), vectors)
 }
 
 // AllReduceMidRoot is the tenant counterpart of Session.AllReduceMidRoot.
 func (t *Tenant) AllReduceMidRoot(ctx context.Context, vectors [][]float32, alg Algorithm, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.AllReduceMidRoot, Alg: alg, P: p, B: b, Op: op}, vectors)
+	return t.Run(ctx, reduceShape(KindAllReduceMidRoot, vectors, alg, op), vectors)
 }
 
 // Broadcast is the tenant counterpart of Session.Broadcast.
 func (t *Tenant) Broadcast(ctx context.Context, data []float32, p int) (*Report, error) {
-	return t.run(ctx, plan.Request{Kind: plan.Broadcast1D, P: p, B: len(data)}, [][]float32{data})
+	return t.Run(ctx, Shape{Kind: KindBroadcast, P: p, B: len(data)}, [][]float32{data})
 }
 
 // Reduce2D is the tenant counterpart of Session.Reduce2D.
 func (t *Tenant) Reduce2D(ctx context.Context, vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
-	_, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.Reduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+	return t.Run(ctx, gridShape(KindReduce2D, vectors, width, height, alg, op), vectors)
 }
 
 // AllReduce2D is the tenant counterpart of Session.AllReduce2D.
 func (t *Tenant) AllReduce2D(ctx context.Context, vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) (*Report, error) {
-	_, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.AllReduce2D, Alg2D: alg, Width: width, Height: height, B: b, Op: op}, vectors)
+	return t.Run(ctx, gridShape(KindAllReduce2D, vectors, width, height, alg, op), vectors)
 }
 
 // Broadcast2D is the tenant counterpart of Session.Broadcast2D.
 func (t *Tenant) Broadcast2D(ctx context.Context, data []float32, width, height int) (*Report, error) {
-	return t.run(ctx, plan.Request{Kind: plan.Broadcast2D, Width: width, Height: height, B: len(data)}, [][]float32{data})
+	return t.Run(ctx, Shape{Kind: KindBroadcast2D, Width: width, Height: height, B: len(data)}, [][]float32{data})
 }
 
 // Scatter is the tenant counterpart of Session.Scatter.
 func (t *Tenant) Scatter(ctx context.Context, data []float32, p int) (*Report, error) {
-	return t.run(ctx, plan.Request{Kind: plan.Scatter, P: p, B: len(data)}, [][]float32{data})
+	return t.Run(ctx, Shape{Kind: KindScatter, P: p, B: len(data)}, [][]float32{data})
 }
 
 // Gather is the tenant counterpart of Session.Gather.
 func (t *Tenant) Gather(ctx context.Context, chunks [][]float32) (*Report, error) {
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	return t.run(ctx, plan.Request{Kind: plan.Gather, P: len(chunks), B: b}, chunks)
+	return t.Run(ctx, chunkShape(KindGather, chunks), chunks)
 }
 
 // ReduceScatter is the tenant counterpart of Session.ReduceScatter.
 func (t *Tenant) ReduceScatter(ctx context.Context, vectors [][]float32, op ReduceOp) (*Report, error) {
-	p, b := dims(vectors)
-	return t.run(ctx, plan.Request{Kind: plan.ReduceScatter, P: p, B: b, Op: op}, vectors)
+	return t.Run(ctx, reduceShape(KindReduceScatter, vectors, "", op), vectors)
 }
 
 // AllGather is the tenant counterpart of Session.AllGather.
 func (t *Tenant) AllGather(ctx context.Context, chunks [][]float32) (*Report, error) {
-	b := 0
-	for _, c := range chunks {
-		b += len(c)
-	}
-	return t.run(ctx, plan.Request{Kind: plan.AllGather, P: len(chunks), B: b}, chunks)
+	return t.Run(ctx, chunkShape(KindAllGather, chunks), chunks)
 }
 
 func dims(vectors [][]float32) (p, b int) {
@@ -273,6 +351,26 @@ func dims(vectors [][]float32) (p, b int) {
 		b = len(vectors[0])
 	}
 	return p, b
+}
+
+// reduceShape, gridShape and chunkShape derive a Shape from legacy
+// argument spellings; the verb layer re-validates whatever they produce.
+func reduceShape(kind Collective, vectors [][]float32, alg Algorithm, op ReduceOp) Shape {
+	p, b := dims(vectors)
+	return Shape{Kind: kind, Alg: alg, P: p, B: b, Op: op}
+}
+
+func gridShape(kind Collective, vectors [][]float32, width, height int, alg Algorithm2D, op ReduceOp) Shape {
+	_, b := dims(vectors)
+	return Shape{Kind: kind, Alg2D: alg, Width: width, Height: height, B: b, Op: op}
+}
+
+func chunkShape(kind Collective, chunks [][]float32) Shape {
+	b := 0
+	for _, c := range chunks {
+		b += len(c)
+	}
+	return Shape{Kind: kind, P: len(chunks), B: b}
 }
 
 // Reduce is the session counterpart of wse.Reduce: identical semantics
