@@ -16,6 +16,10 @@
 //	    print the per-tenant latency table plus a JSON SchedStats dump.
 //	    SPEC is a comma list of name:class:weight[:maxqueue] entries
 //	    (class: interactive, batch, background).
+//	wsecollect load -url URL [-requests N] [-workers K] [shape flags]
+//	    hammer a running wsed daemon's /v1/run over the network with the
+//	    -tenants weights as the request mix, and write BENCH_serve.json
+//	    (RPS, p50/p99 wire latency, per-status counts).
 //
 // Examples:
 //
@@ -74,6 +78,10 @@ type config struct {
 	store      string
 	cpuprofile string
 	tenants    string
+	url        string
+	requests   int
+	out        string
+	compare    string
 	// set records which flags were passed explicitly, for defaults that
 	// differ per subcommand (serve bursts -repeat 64 unless given).
 	set map[string]bool
@@ -103,6 +111,10 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the runs to this file")
 	fs.StringVar(&c.tenants, "tenants", "fg:interactive:1,bulk:batch:3,scavenger:background:1",
 		"serve: comma list of tenant name:class:weight[:maxqueue] (class: interactive, batch, background)")
+	fs.StringVar(&c.url, "url", "http://127.0.0.1:8080", "load: base URL of a running wsed daemon")
+	fs.IntVar(&c.requests, "requests", 256, "load: total requests to send")
+	fs.StringVar(&c.out, "out", "BENCH_serve.json", "load: where to write the wire-latency trajectory point")
+	fs.StringVar(&c.compare, "compare", "BENCH_api.json", "load: in-process trajectory point to diff against (\"\" to skip)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -150,8 +162,10 @@ func realMain() int {
 		err = warmCmd(c)
 	case "serve":
 		err = serveCmd(c)
+	case "load":
+		err = loadCmd(c)
 	default:
-		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)

@@ -1,0 +1,159 @@
+// Command wsed is the network serving daemon for the Shape-first verbs:
+// a wse.Session behind an HTTP surface. Clients POST JSON shapes to
+// /v1/run, /v1/predict and /v1/bound (or /v1/submit + /v1/jobs/{id} for
+// the async tier), tenant identity rides an auth header into the
+// session's QoS scheduler, /metrics feeds Prometheus, and SIGTERM drains
+// gracefully: in-flight requests finish, new ones get 503, the session
+// closes, the listener stops.
+//
+//	wsed -addr :8080 -store /var/lib/wse/plans \
+//	     -tenants "fg:interactive:4:64,bulk:batch:1" \
+//	     -default-tenant batch:1:32
+//
+// See internal/serve for the endpoint and wire-format reference, and
+// `wsecollect load` for the matching load generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	wse "repro"
+	"repro/internal/serve"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	fs := flag.NewFlagSet("wsed", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "session worker pool size (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "plan cache capacity (0 = default of 128)")
+	storeDir := fs.String("store", "", "plan store directory (read/write-through when set)")
+	warm := fs.Bool("warm", false, "preload every stored plan before listening (requires -store)")
+	tenants := fs.String("tenants", "", "pre-registered tenants: comma list of name:class:weight[:maxqueue]")
+	defTenant := fs.String("default-tenant", "batch:1", "QoS for unknown tenant names: class:weight[:maxqueue]")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	jobTTL := fs.Duration("job-ttl", 5*time.Minute, "how long completed async jobs stay pollable")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "cap on the SIGTERM graceful drain")
+	maxCycles := fs.Int64("maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28)")
+	shards := fs.Int("shards", 0, "row-band shards per fabric simulation (0 = auto-tune from GOMAXPROCS)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(os.Stderr, "wsed: ", log.LstdFlags)
+
+	defCfg, err := parseTenantConfig(*defTenant)
+	if err != nil {
+		logger.Println(err)
+		return 2
+	}
+	specs, err := serve.ParseTenants(*tenants)
+	if err != nil {
+		logger.Println(err)
+		return 2
+	}
+
+	cfg := wse.SessionConfig{
+		Options:           wse.Options{MaxCycles: *maxCycles, Shards: *shards},
+		PlanCacheCapacity: *cache,
+		Workers:           *workers,
+		Scheduler:         wse.SchedulerConfig{DefaultTenant: defCfg},
+	}
+	var store *wse.PlanStore
+	if *storeDir != "" {
+		if store, err = wse.OpenPlanStore(*storeDir); err != nil {
+			logger.Println(err)
+			return 1
+		}
+		cfg.Store = store
+	}
+	sess := wse.NewSession(cfg)
+	if *warm {
+		if store == nil {
+			logger.Println("-warm requires -store DIR")
+			return 2
+		}
+		st, err := sess.Warm(store, nil)
+		if err != nil {
+			logger.Println("warm (continuing):", err)
+		}
+		logger.Printf("warmed %d plans from %s (%d decoded, %d compiled)", st.Loaded+st.Compiled+st.Resident, *storeDir, st.Loaded, st.Compiled)
+	}
+
+	srv := serve.New(serve.Config{
+		Session:       sess,
+		Store:         store,
+		DefaultTenant: defCfg,
+		Tenants:       specs,
+		RetryAfter:    *retryAfter,
+		JobTTL:        *jobTTL,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		logger.Printf("%v: draining (in-flight requests finish, new requests get 503)", sig)
+		// Admission stops first so the drain is observable immediately;
+		// Shutdown then waits for in-flight handlers, and Drain closes
+		// the session's queues and worker pool behind them.
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Println("shutdown:", err)
+		}
+		if err := srv.Drain(); err != nil {
+			logger.Println("drain:", err)
+		}
+		logger.Println("drained")
+	}()
+
+	logger.Printf("listening on %s (%d pre-registered tenants, store=%q)", *addr, len(specs), *storeDir)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Println(err)
+		return 1
+	}
+	<-done // ListenAndServe returns as soon as Shutdown starts; let it finish
+	return 0
+}
+
+// parseTenantConfig parses class:weight[:maxqueue] — a -tenants entry
+// without the leading name.
+func parseTenantConfig(spec string) (wse.TenantConfig, error) {
+	var cfg wse.TenantConfig
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return cfg, fmt.Errorf("bad -default-tenant %q (want class:weight[:maxqueue])", spec)
+	}
+	var err error
+	if cfg.Priority, err = serve.ParseTenantClass(parts[0]); err != nil {
+		return cfg, err
+	}
+	if cfg.Weight, err = strconv.Atoi(parts[1]); err != nil || cfg.Weight < 1 {
+		return cfg, fmt.Errorf("bad -default-tenant weight %q", parts[1])
+	}
+	if len(parts) == 3 {
+		if cfg.MaxQueue, err = strconv.Atoi(parts[2]); err != nil || cfg.MaxQueue < 1 {
+			return cfg, fmt.Errorf("bad -default-tenant maxqueue %q", parts[2])
+		}
+	}
+	return cfg, nil
+}

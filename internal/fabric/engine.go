@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -48,7 +49,13 @@ type Options struct {
 	// (queue pushes and pops cross cycle boundaries before becoming
 	// visible to the other endpoint), so sharded runs produce bit-identical
 	// results to serial runs; sharding only changes wall-clock time.
-	// 0 or 1 selects the serial engine. Shards is ignored (forced serial)
+	//
+	// 0 (unset) auto-tunes: fabrics large enough to amortise the cycle
+	// barrier are sharded across GOMAXPROCS, small fabrics run the serial
+	// engine — see autoShards. Explicit values are honoured exactly: 1 (or
+	// any negative value) forces the serial engine, > 1 that many bands.
+	// Results are bit-identical in every mode, so auto-tuning never changes
+	// what a run computes, only how fast. Shards is ignored (forced serial)
 	// when a Tracer is attached.
 	Shards int
 	// Tracer, when non-nil, records fabric events (wavelet movement,
@@ -402,9 +409,45 @@ func New(s *Spec, opt Options) (*Fabric, error) {
 	return f, nil
 }
 
+// autoShardProcs reports the parallelism auto-sharding divides the fabric
+// across. It is a variable so tests can model a many-core host on a small
+// one; everywhere else it is GOMAXPROCS.
+var autoShardProcs = func() int { return runtime.GOMAXPROCS(0) }
+
+// autoShardMinBand is the smallest PE band worth a dedicated shard
+// goroutine under auto-tuning. Sharding pays a per-cycle barrier, and a
+// session's worker pool may run several replays at once — each extra
+// marginal band multiplies runnable goroutines without adding useful
+// parallelism. The replay benchmarks put the sharded crossover between
+// the p=512 chain (sharding loses) and the 64×64 grid (sharding wins),
+// so auto-tuning keeps anything below two ~2K-PE bands serial. Explicit
+// Shards values bypass the floor entirely. A variable so tests can model
+// large fabrics cheaply.
+var autoShardMinBand = 2048
+
+// autoShards derives the shard count for a fabric of n PEs when
+// Options.Shards is left at zero: one band per available CPU, but never
+// bands smaller than autoShardMinBand PEs — below that the per-cycle
+// barrier costs more than the parallel stepping buys. Fabrics that
+// derive one band run the serial engine exactly as an explicit Shards=1
+// would.
+func autoShards(n int) int {
+	s := autoShardProcs()
+	if max := n / autoShardMinBand; s > max {
+		s = max
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
 // initShards partitions the units into contiguous row-major bands.
 func (f *Fabric) initShards() {
 	n := f.opt.Shards
+	if n == 0 {
+		n = autoShards(len(f.procs))
+	}
 	if n < 1 || f.opt.Tracer != nil {
 		n = 1
 	}

@@ -187,3 +187,60 @@ func TestShardedErrorPropagates(t *testing.T) {
 		t.Fatal("want protocol error from sharded run")
 	}
 }
+
+// TestAutoShards pins the Shards=0 auto-tune rule: one band per available
+// CPU, bands never smaller than autoShardMinBand PEs, serial when either
+// bound collapses it to one.
+func TestAutoShards(t *testing.T) {
+	old := autoShardProcs
+	defer func() { autoShardProcs = old }()
+	cases := []struct {
+		procs, pes, want int
+	}{
+		{1, 100000, 1},                  // one CPU: serial, regardless of size
+		{8, autoShardMinBand - 1, 1},    // sub-floor fabric: serial
+		{8, 512, 1},                     // the p=512 bench chain stays serial
+		{8, 2 * autoShardMinBand, 2},    // band floor caps the CPU count
+		{8, 100 * autoShardMinBand, 8},  // large fabric: one band per CPU
+		{4, 3*autoShardMinBand + 50, 3}, // integer band floor
+	}
+	for _, tc := range cases {
+		autoShardProcs = func() int { return tc.procs }
+		if got := autoShards(tc.pes); got != tc.want {
+			t.Errorf("autoShards(%d PEs, %d procs) = %d, want %d", tc.pes, tc.procs, got, tc.want)
+		}
+	}
+}
+
+// TestAutoShardsBitIdentical models a many-core host on whatever box runs
+// the tests: a fabric built with Shards=0 must auto-shard (len(shards)>1)
+// and still reproduce the explicit serial engine bit for bit.
+func TestAutoShardsBitIdentical(t *testing.T) {
+	oldProcs := autoShardProcs
+	oldBand := autoShardMinBand
+	autoShardProcs = func() int { return 4 }
+	autoShardMinBand = 8 // keep the test spec small
+	defer func() { autoShardProcs = oldProcs; autoShardMinBand = oldBand }()
+
+	spec := gridBounce(6, 8, 10)
+	serial, err := New(gridBounce(6, 8, 10), Options{Shards: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := New(spec, Options{QueueCap: 2}) // Shards unset
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.shards) != 4 {
+		t.Fatalf("auto-tuned fabric has %d shards, want 4", len(auto.shards))
+	}
+	got, err := auto.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got, "auto-sharded vs serial")
+}

@@ -51,3 +51,68 @@ func TestExecuteBatchMatchesSingleAndCancels(t *testing.T) {
 		t.Fatalf("cancelled batch: reps=%v err=%v, want nil + context.Canceled", reps, err)
 	}
 }
+
+// TestExecuteBatchColumnarArena: the columnar batch path must match
+// single columnar replays entry for entry, keep every report's buffers
+// independent (the shared arena is carved into disjoint segments), and —
+// the point of the arena — not allocate one Acc buffer per run.
+func TestExecuteBatchColumnarArena(t *testing.T) {
+	p, err := Compile(Request{Kind: Reduce1D, Alg: core.Chain, P: 6, B: 4, Op: fabric.OpSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	batches := make([][][]float32, n)
+	for i := range batches {
+		in := make([][]float32, 6)
+		for j := range in {
+			in[j] = []float32{float32(i + 1), 2, 3, float32(j)}
+		}
+		batches[i] = in
+	}
+	reps, err := p.ExecuteBatch(context.Background(), batches, ExecOptions{Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		single, err := p.ExecuteOpts(batches[i], ExecOptions{Columnar: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cycles != single.Cycles || rep.Root[0] != single.Root[0] || rep.Root[3] != single.Root[3] {
+			t.Fatalf("entry %d: batch (%d cycles, root %v) vs single (%d cycles, root %v)",
+				i, rep.Cycles, rep.Root, single.Cycles, single.Root)
+		}
+	}
+	// Disjoint segments: scribbling over one report's accumulators must
+	// not disturb any other report.
+	want1 := reps[1].Root[0]
+	for i := range reps[0].Columnar.Acc {
+		reps[0].Columnar.Acc[i] = -999
+	}
+	if reps[1].Root[0] != want1 {
+		t.Fatal("batch reports share accumulator storage")
+	}
+
+	if raceEnabled {
+		return // the race detector inflates allocation counts
+	}
+	// The arena bound: growing the batch must not add an Acc allocation
+	// per run. Per extra entry the batch path may allocate the Report and
+	// its boxed fields, but the accumulator storage comes from the one
+	// arena — so the growth from n to 2n entries stays well under what
+	// per-run Acc buffers (one per entry) would add on top.
+	allocs := func(batches [][][]float32) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := p.ExecuteBatch(context.Background(), batches, ExecOptions{Columnar: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	double := append(append([][][]float32{}, batches...), batches...)
+	small, big := allocs(batches), allocs(double)
+	perRun := (big - small) / float64(n)
+	if perRun > 2.5 {
+		t.Fatalf("columnar batch allocates %.1f allocs per extra run (n=%v -> 2n=%v); arena should hold it at the Report overhead (~2)", perRun, small, big)
+	}
+}

@@ -499,8 +499,16 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 		}
 	}
 	reports := make([]*core.Report, len(batches))
-	var pf *pooledFabric
-	var off []int // offset table shared across the batch's columnar results
+	var (
+		pf     *pooledFabric
+		off    []int // offset table shared across the batch's columnar results
+		colRes []fabric.ColumnarResult
+		arena  []float32 // per-batch Acc arena; one allocation serves every run
+		accLen int       // per-run accumulator total, known after run 0
+	)
+	if eo.Columnar {
+		colRes = make([]fabric.ColumnarResult, len(batches))
+	}
 	for i, inputs := range batches {
 		if ctx != nil && ctx.Err() != nil {
 			if pf != nil {
@@ -527,10 +535,26 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 		if eo.Columnar {
 			// Seeding each run's result with the previous offsets shares
 			// one backing array: the offsets depend only on the program,
-			// so every report in the batch sees identical values.
-			res := &fabric.ColumnarResult{Off: off}
+			// so every report in the batch sees identical values. The Acc
+			// buffers cannot be shared (each report owns its values), but
+			// their sizes are identical across the batch, so runs after the
+			// first carve zero-length, full-capacity slices out of one
+			// arena sized at run 0 — one allocation for all N runs instead
+			// of one per run.
+			res := &colRes[i]
+			res.Off = off
+			if accLen > 0 && len(arena) >= accLen {
+				res.Acc = arena[:0:accLen]
+				arena = arena[accLen:]
+			}
 			if err = pf.f.RunColumnar(res); err == nil {
 				off = res.Off
+				if i == 0 {
+					accLen = len(res.Acc)
+					if rem := len(batches) - 1; rem > 0 && accLen > 0 {
+						arena = make([]float32, rem*accLen)
+					}
+				}
 				rep = core.ReportOfColumnar(res, p.Predicted)
 			}
 		} else {

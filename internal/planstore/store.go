@@ -40,6 +40,39 @@ type Store struct {
 
 	mu    sync.Mutex
 	index map[plan.Key]string // key -> content hash (blob basename)
+	stats Stats
+}
+
+// Stats is the store's operation accounting, for dashboards and the
+// serving daemon's /metrics endpoint. Loads counts successful decodes,
+// Misses the lookups for keys the store does not hold, LoadErrors the
+// entries that existed but could not be used (each of those also bumps
+// Quarantined when the blob was moved aside), Saves the persisted writes
+// and SaveErrors the writes that failed. Plans is the indexed plan count
+// at snapshot time.
+type Stats struct {
+	Loads       int64
+	Misses      int64
+	LoadErrors  int64
+	Saves       int64
+	SaveErrors  int64
+	Quarantined int64
+	Plans       int
+}
+
+// Stats snapshots the store's operation accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Plans = len(s.index)
+	return st
+}
+
+func (s *Store) note(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
 }
 
 // Open opens (creating if needed) a plan store rooted at dir and rebuilds
@@ -121,6 +154,7 @@ func (s *Store) Save(p *plan.Plan) error {
 func (s *Store) Put(p *plan.Plan) (string, error) {
 	data, hash, err := Encode(p)
 	if err != nil {
+		s.note(func(st *Stats) { st.SaveErrors++ })
 		return "", err
 	}
 	s.mu.Lock()
@@ -135,8 +169,10 @@ func (s *Store) Put(p *plan.Plan) (string, error) {
 		}
 	}
 	if err := s.writeBlob(hash, data); err != nil {
+		s.stats.SaveErrors++
 		return "", err
 	}
+	s.stats.Saves++
 	s.index[p.Key] = hash
 	if existed && old != hash {
 		// The key moved to new content (e.g. the compiler changed between
@@ -154,17 +190,21 @@ func (s *Store) Put(p *plan.Plan) (string, error) {
 func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
 	s.mu.Lock()
 	hash, ok := s.index[key]
-	s.mu.Unlock()
 	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, false, nil
 	}
+	s.mu.Unlock()
 	data, err := os.ReadFile(s.blobPath(hash))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			// Blob vanished under us (manual deletion); drop the entry.
 			s.drop(key, hash)
+			s.note(func(st *Stats) { st.Misses++ })
 			return nil, false, nil
 		}
+		s.note(func(st *Stats) { st.LoadErrors++ })
 		return nil, false, fmt.Errorf("planstore: %w", err)
 	}
 	p, gotHash, err := Decode(data)
@@ -182,6 +222,7 @@ func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
 		s.quarantineEntry(key, hash)
 		return nil, false, fmt.Errorf("planstore: blob %s holds key %v, indexed under %v: quarantined", hash, p.Key, key)
 	}
+	s.note(func(st *Stats) { st.Loads++ })
 	return p, true, nil
 }
 
@@ -249,6 +290,7 @@ func (s *Store) drop(key plan.Key, hash string) {
 func (s *Store) quarantineEntry(key plan.Key, hash string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.LoadErrors++
 	s.quarantine(hash + blobExt)
 	if s.index[key] == hash {
 		delete(s.index, key)
@@ -259,6 +301,7 @@ func (s *Store) quarantineEntry(key plan.Key, hash string) {
 // quarantine moves plans/<name> to quarantine/<name>. The caller holds
 // s.mu (or, during Open, has exclusive access).
 func (s *Store) quarantine(name string) {
+	s.stats.Quarantined++
 	os.Rename(filepath.Join(s.dir, plansDir, name), filepath.Join(s.dir, quarantineDir, name))
 }
 

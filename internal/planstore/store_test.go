@@ -262,3 +262,42 @@ func TestStoreKeyRemapDropsOldBlob(t *testing.T) {
 		t.Fatal("remapped key served stale content")
 	}
 }
+
+// TestStoreStats exercises the operation accounting the serving daemon's
+// /metrics endpoint reads: saves, loads, misses, and the load-error +
+// quarantine counters on a corrupted blob.
+func TestStoreStats(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustCompile(t, storeReq(8))
+	hash, err := s.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load(p.Key); !ok || err != nil {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := s.Load(plan.KeyOf(storeReq(16))); ok {
+		t.Fatal("missing key loaded")
+	}
+	st := s.Stats()
+	want := Stats{Loads: 1, Misses: 1, Saves: 1, Plans: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	// Corrupt the blob: the failed load must count as a load error and a
+	// quarantine, and the plan leaves the index.
+	if err := os.WriteFile(s.blobPath(hash), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(p.Key); err == nil {
+		t.Fatal("corrupt blob loaded without error")
+	}
+	st = s.Stats()
+	want = Stats{Loads: 1, Misses: 1, Saves: 1, LoadErrors: 1, Quarantined: 1, Plans: 0}
+	if st != want {
+		t.Fatalf("stats after corruption = %+v, want %+v", st, want)
+	}
+}

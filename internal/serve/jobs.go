@@ -1,0 +1,83 @@
+package serve
+
+// The async tier: POST /v1/submit parks a Future in the job registry and
+// returns an id; GET /v1/jobs/{id} polls it. Jobs are detached from the
+// submitting connection (the whole point of the tier — fire, disconnect,
+// poll later), so they run under context.Background and survive the
+// client going away. Completed jobs linger for JobTTL so a poller gets
+// at least one look at the result, then lazy GC — run on every submit
+// and poll — reaps them; there is no background goroutine to leak.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	wse "repro"
+)
+
+type job struct {
+	fut    *wse.Future
+	tenant string
+	doneAt time.Time // zero until a GC or poll first observes completion
+}
+
+type jobRegistry struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int64
+	ttl  time.Duration
+	now  func() time.Time // test hook
+}
+
+func newJobRegistry(ttl time.Duration) *jobRegistry {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	return &jobRegistry{jobs: make(map[string]*job), ttl: ttl, now: time.Now}
+}
+
+// add registers a future and returns its job id.
+func (r *jobRegistry) add(fut *wse.Future, tenant string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gcLocked()
+	r.seq++
+	id := fmt.Sprintf("j%d", r.seq)
+	r.jobs[id] = &job{fut: fut, tenant: tenant}
+	return id
+}
+
+// get returns the job for id, running a GC pass first — so a job polled
+// after its post-completion TTL is already gone.
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gcLocked()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// len reports the resident job count (for /metrics).
+func (r *jobRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// gcLocked stamps newly completed jobs and deletes the ones whose stamp
+// has aged past the TTL. Caller holds r.mu.
+func (r *jobRegistry) gcLocked() {
+	now := r.now()
+	for id, j := range r.jobs {
+		select {
+		case <-j.fut.Done():
+			if j.doneAt.IsZero() {
+				j.doneAt = now
+			} else if now.Sub(j.doneAt) > r.ttl {
+				delete(r.jobs, id)
+			}
+		default:
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package serve is the HTTP layer of the wsed daemon: the Shape-first
+// verbs (Run, Predict, Bound, Submit) over JSON, in front of a
+// wse.Session. The package holds everything testable without a socket —
+// handlers, tenant mapping, error translation, drain sequencing, the job
+// registry, /metrics rendering — so cmd/wsed is only flag parsing, a
+// net/http listener and signal wiring.
+//
+// Endpoints:
+//
+//	POST /v1/run      {"shape": {...}, "inputs": [[...], ...]} -> result
+//	POST /v1/predict  {"shape": {...}}                         -> model estimate
+//	POST /v1/bound    {"shape": {...}}                         -> runtime lower bound
+//	POST /v1/submit   run's async twin                         -> {"id": "..."} (202)
+//	GET  /v1/jobs/{id}                                         -> pending | done | failed
+//	GET  /healthz                                              -> 200, or 503 when draining
+//	GET  /metrics                                              -> Prometheus text format
+//
+// Tenancy is an identity header (X-WSE-Tenant, or Authorization: Bearer
+// <name>) mapped to Session.WithTenant: names registered at startup keep
+// their configured QoS class, unknown names are admitted under the
+// configured default TenantConfig, and no header serves under the
+// session's default tenant. The scheduler's typed failures translate to
+// transport-level contracts: ErrOverloaded becomes 429 with a
+// Retry-After hint, ErrBadShape 400, a draining or closed daemon 503.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wse "repro"
+)
+
+// Config assembles a Server. Session is required; everything else has a
+// serving-grade default.
+type Config struct {
+	// Session executes every request. The Server owns its shutdown:
+	// Drain closes it.
+	Session *wse.Session
+	// Store, when non-nil, is the session's attached plan store; /metrics
+	// then exposes its counters alongside the cache's.
+	Store *wse.PlanStore
+	// DefaultTenant is the QoS config under which unknown tenant names
+	// are admitted. The zero value is a weight-1 Batch tenant with the
+	// default queue bound.
+	DefaultTenant wse.TenantConfig
+	// Tenants pre-registers named tenants with explicit QoS configs.
+	Tenants []TenantSpec
+	// RetryAfter is the hint attached to 429 responses (default 1s).
+	RetryAfter time.Duration
+	// JobTTL bounds how long a completed async job stays pollable
+	// (default 5m).
+	JobTTL time.Duration
+	// MaxBody caps request body size in bytes (default 64 MiB — a full
+	// 750×994 wafer of B=16 float32 vectors fits with headroom).
+	MaxBody int64
+}
+
+// Server is the daemon's handler set. Create with New, mount via
+// Handler, stop via Drain.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	jobs *jobRegistry
+	http httpStats
+
+	draining atomic.Bool
+	drainMu  sync.RWMutex // held shared by in-flight requests, exclusively by Drain
+
+	mu      sync.Mutex
+	tenants map[string]*wse.Tenant
+}
+
+// New assembles a Server over the session. It does not listen; mount
+// Handler on any net/http server (or httptest).
+func New(cfg Config) *Server {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 64 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		jobs:    newJobRegistry(cfg.JobTTL),
+		tenants: make(map[string]*wse.Tenant),
+	}
+	for _, ts := range cfg.Tenants {
+		s.tenants[ts.Name] = cfg.Session.WithTenant(ts.Name, ts.Cfg)
+	}
+	s.mux.HandleFunc("POST /v1/run", s.api("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/predict", s.api("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/bound", s.api("bound", s.handleBound))
+	s.mux.HandleFunc("POST /v1/submit", s.api("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.api("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StartDrain stops admission: API requests arriving after it return 503
+// and /healthz flips unhealthy, while requests already in flight keep
+// running. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain is the full graceful stop: stop admission, wait for every
+// in-flight request, then close the session (draining its queues and
+// worker pool). After Drain the Server only answers /healthz (503) and
+// /metrics.
+func (s *Server) Drain() error {
+	s.StartDrain()
+	s.drainMu.Lock() // barrier: every in-flight request holds an RLock
+	s.drainMu.Unlock()
+	return s.cfg.Session.Close()
+}
+
+// api wraps an endpoint handler with the serving middleware: drain
+// gating, in-flight accounting and per-endpoint status metrics.
+func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() { s.http.record(endpoint, sw.code()) }()
+		if s.draining.Load() {
+			s.writeError(sw, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		s.drainMu.RLock()
+		defer s.drainMu.RUnlock()
+		if s.draining.Load() { // drain began between the check and the lock
+			s.writeError(sw, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBody)
+		h(sw, r)
+	}
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote == 0 {
+		w.wrote = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.wrote == 0 {
+		w.wrote = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) code() int {
+	if w.wrote == 0 {
+		return http.StatusOK
+	}
+	return w.wrote
+}
+
+// verbs is the slice of the Session/Tenant surface the daemon serves;
+// both *wse.Session (the default tenant) and *wse.Tenant satisfy it.
+type verbs interface {
+	Run(ctx context.Context, sh wse.Shape, inputs [][]float32, opts ...wse.RunOption) (*wse.Report, error)
+	Submit(ctx context.Context, sh wse.Shape, inputs [][]float32, opts ...wse.RunOption) *wse.Future
+}
+
+// tenantName extracts the caller's tenant identity: the X-WSE-Tenant
+// header, else a bearer token (the token IS the tenant name — wsed
+// deployments front real credential checking with their ingress, and the
+// mapping layer here is where a verifier would slot in).
+func tenantName(r *http.Request) string {
+	if name := r.Header.Get("X-WSE-Tenant"); name != "" {
+		return name
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && auth[:7] == "Bearer " {
+		return auth[7:]
+	}
+	return ""
+}
+
+// verbsFor maps the request's tenant identity to a serving handle: a
+// pre-registered tenant keeps its configured QoS, an unknown name is
+// registered under the default TenantConfig on first sight, no identity
+// serves as the session's default tenant.
+func (s *Server) verbsFor(r *http.Request) verbs {
+	name := tenantName(r)
+	if name == "" {
+		return s.cfg.Session
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = s.cfg.Session.WithTenant(name, s.cfg.DefaultTenant)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+type runRequest struct {
+	Shape  ShapeWire   `json:"shape"`
+	Inputs [][]float32 `json:"inputs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		secs := int64(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// errorCode maps the wse error taxonomy onto HTTP statuses. The typed
+// errors carry the contract: overload is the backpressure signal a
+// client should retry after a delay, a bad shape will never succeed, a
+// closed session means the process is going away.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, wse.ErrBadShape):
+		return http.StatusBadRequest
+	case errors.Is(err, wse.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, wse.ErrSessionClosed), errors.Is(err, wse.ErrTenantRemoved):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) writeVerbError(w http.ResponseWriter, err error) {
+	s.writeError(w, errorCode(err), err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// decode parses a JSON request body, mapping malformed JSON to 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sh, err := req.Shape.Shape()
+	if err != nil {
+		s.writeVerbError(w, err)
+		return
+	}
+	rep, err := s.verbsFor(r).Run(r.Context(), sh, req.Inputs)
+	if err != nil {
+		s.writeVerbError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportWire(rep))
+}
+
+type estimateRequest struct {
+	Shape ShapeWire `json:"shape"`
+}
+
+// handleEstimate is the shared shape->number tail of /v1/predict and
+// /v1/bound. Both model verbs are total (unknown shapes estimate to
+// NaN), so the daemon validates first to keep the 400 contract.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, field string, f func(wse.Shape) float64) {
+	var req estimateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sh, err := req.Shape.Shape()
+	if err == nil {
+		err = sh.Validate()
+	}
+	if err != nil {
+		s.writeVerbError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{field: f(sh)})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.handleEstimate(w, r, "predicted_cycles", func(sh wse.Shape) float64 { return s.cfg.Session.Predict(sh) })
+}
+
+func (s *Server) handleBound(w http.ResponseWriter, r *http.Request) {
+	s.handleEstimate(w, r, "bound_cycles", func(sh wse.Shape) float64 { return s.cfg.Session.Bound(sh) })
+}
+
+type submitResponse struct {
+	ID  string `json:"id"`
+	URL string `json:"status_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	sh, err := req.Shape.Shape()
+	if err != nil {
+		s.writeVerbError(w, err)
+		return
+	}
+	name := tenantName(r)
+	// Jobs are detached from the submitting connection: Background, not
+	// r.Context(), or closing the HTTP client would cancel the work the
+	// async tier exists to decouple.
+	fut := s.verbsFor(r).Submit(context.Background(), sh, req.Inputs)
+	// Admission control and validation resolve synchronously; surface
+	// those failures on the submit itself so a rejected job never gets
+	// an id (and the 429 Retry-After contract holds on this path too).
+	select {
+	case <-fut.Done():
+		if err := fut.Err(); err != nil {
+			s.writeVerbError(w, err)
+			return
+		}
+	default:
+	}
+	id := s.jobs.add(fut, name)
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, URL: "/v1/jobs/" + id})
+}
+
+type jobResponse struct {
+	ID     string      `json:"id"`
+	State  string      `json:"state"` // pending | done | failed
+	Result *ReportWire `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	select {
+	case <-j.fut.Done():
+		rep, err := j.fut.Wait()
+		if err != nil {
+			writeJSON(w, http.StatusOK, jobResponse{ID: id, State: "failed", Error: err.Error()})
+			return
+		}
+		wire := reportWire(rep)
+		writeJSON(w, http.StatusOK, jobResponse{ID: id, State: "done", Result: &wire})
+	default:
+		writeJSON(w, http.StatusOK, jobResponse{ID: id, State: "pending"})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,377 @@
+package serve
+
+// httptest-driven coverage of the daemon's handler layer: happy paths
+// for the three verbs, the typed-error transport contract (400 on a bad
+// shape, 429 + Retry-After under a saturated bounded tenant, 503 while
+// draining), the async submit/poll lifecycle with job GC, tenant
+// identity mapping, and wire-vs-in-process bit identity.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	wse "repro"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Session == nil {
+		cfg.Session = wse.NewSession(wse.SessionConfig{})
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cfg.Session.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// vectorsJSON renders p length-b all-ones vectors as a JSON array.
+func vectorsJSON(p, b int) string {
+	one := make([]string, b)
+	for i := range one {
+		one[i] = "1"
+	}
+	vec := "[" + strings.Join(one, ",") + "]"
+	vecs := make([]string, p)
+	for i := range vecs {
+		vecs[i] = vec
+	}
+	return "[" + strings.Join(vecs, ",") + "]"
+}
+
+func runBody(kind string, p, b int) string {
+	return fmt.Sprintf(`{"shape":{"kind":%q,"p":%d,"b":%d,"op":"sum"},"inputs":%s}`,
+		kind, p, b, vectorsJSON(p, b))
+}
+
+// TestRunBitIdentical: a /v1/run served over the wire must reproduce the
+// in-process wse.Run bit for bit — float32 survives JSON's float64
+// numbers exactly, so the wire layer owes zero numerical drift.
+func TestRunBitIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const p, b = 8, 4
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", p, b), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ReportWire
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	inputs := make([][]float32, p)
+	for i := range inputs {
+		inputs[i] = []float32{1, 1, 1, 1}
+	}
+	want, err := wse.Run(context.Background(), wse.Shape{
+		Kind: wse.KindReduce, Alg: wse.Auto, P: p, B: b, Op: wse.Sum,
+	}, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles {
+		t.Errorf("wire cycles %d, in-process %d", got.Cycles, want.Cycles)
+	}
+	if got.Predicted != want.Predicted {
+		t.Errorf("wire predicted %v, in-process %v", got.Predicted, want.Predicted)
+	}
+	if len(got.Root) != len(want.Root) {
+		t.Fatalf("wire root length %d, in-process %d", len(got.Root), len(want.Root))
+	}
+	for i := range got.Root {
+		if got.Root[i] != want.Root[i] {
+			t.Errorf("root[%d]: wire %v, in-process %v", i, got.Root[i], want.Root[i])
+		}
+	}
+	if got.Stats.Hops != want.Stats.Hops {
+		t.Errorf("wire hops %d, in-process %d", got.Stats.Hops, want.Stats.Hops)
+	}
+}
+
+// TestPredictBound: the model verbs answer with the exact in-process
+// estimates.
+func TestPredictBound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sh := `{"shape":{"kind":"reduce1d","p":64,"b":16,"op":"sum"}}`
+	wantShape := wse.Shape{Kind: wse.KindReduce, Alg: wse.Auto, Alg2D: wse.Auto2D, P: 64, B: 16, Op: wse.Sum}
+
+	resp, body := post(t, ts.URL+"/v1/predict", sh, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	var pr map[string]float64
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if want := wse.Predict(wantShape); pr["predicted_cycles"] != want {
+		t.Errorf("predict %v, want %v", pr["predicted_cycles"], want)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/bound", sh, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bound status %d: %s", resp.StatusCode, body)
+	}
+	var bd map[string]float64
+	if err := json.Unmarshal(body, &bd); err != nil {
+		t.Fatal(err)
+	}
+	if want := wse.Bound(wantShape); bd["bound_cycles"] != want {
+		t.Errorf("bound %v, want %v", bd["bound_cycles"], want)
+	}
+}
+
+// TestBadShape400: malformed shapes and ragged inputs come back 400 with
+// a JSON error body — never a 500, never a hang.
+func TestBadShape400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"ragged inputs", `{"shape":{"kind":"reduce1d","p":4,"b":4,"op":"sum"},"inputs":[[1,1,1,1],[1,1,1,1],[1,1],[1,1,1,1]]}`},
+		{"wrong vector count", `{"shape":{"kind":"reduce1d","p":4,"b":2,"op":"sum"},"inputs":[[1,1]]}`},
+		{"unknown kind", `{"shape":{"kind":"transmogrify","p":4,"b":2},"inputs":[[1,1]]}`},
+		{"unknown op", `{"shape":{"kind":"reduce1d","p":4,"b":2,"op":"xor"},"inputs":[[1,1]]}`},
+		{"malformed json", `{"shape":`},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts.URL+"/v1/run", tc.body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", tc.name, body)
+		}
+	}
+}
+
+// TestOverloaded429: a bounded tenant pushed past its queue depth gets
+// 429 with a Retry-After hint, synchronously — admission control never
+// queues the rejection. A backlog of Interactive in-process blockers
+// pins the single worker, so the Batch-class tenant's queued request is
+// never dispatched while they are pending — the second wire submit hits
+// the MaxQueue=1 bound no matter how the test goroutines are scheduled.
+func TestOverloaded429(t *testing.T) {
+	sess := wse.NewSession(wse.SessionConfig{Workers: 1})
+	_, ts := newTestServer(t, Config{
+		Session:    sess,
+		Tenants:    []TenantSpec{{Name: "tight", Cfg: wse.TenantConfig{Weight: 1, MaxQueue: 1}}},
+		RetryAfter: 2 * time.Second,
+	})
+	blocker := sess.WithTenant("blocker", wse.TenantConfig{Priority: wse.Interactive})
+	blockShape := wse.Shape{Kind: wse.KindReduce, Alg: wse.Chain, P: 512, B: 16, Op: wse.Sum}
+	blockInputs := make([][]float32, blockShape.P)
+	for i := range blockInputs {
+		blockInputs[i] = make([]float32, blockShape.B)
+	}
+	for i := 0; i < 64; i++ {
+		blocker.Submit(context.Background(), blockShape, blockInputs)
+	}
+
+	body := runBody("reduce1d", 8, 4)
+	hdr := map[string]string{"X-WSE-Tenant": "tight"}
+	resp, rbody := post(t, ts.URL+"/v1/submit", body, hdr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, rbody)
+	}
+	resp, rbody = post(t, ts.URL+"/v1/submit", body, hdr)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429 (%s)", resp.StatusCode, rbody)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rbody, &e); err != nil || e.Error == "" {
+		t.Errorf("429 body %q not a JSON error", rbody)
+	}
+}
+
+// TestSubmitPollLifecycle: submit returns an id whose status moves to
+// done with the full result, and the completed job is GCed after its
+// TTL (observed as 404 on a later poll).
+func TestSubmitPollLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobTTL: time.Millisecond})
+	resp, body := post(t, ts.URL+"/v1/submit", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit body %q", body)
+	}
+
+	var jr jobResponse
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, b := get(t, ts.URL+sub.URL)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", r.StatusCode, b)
+		}
+		if err := json.Unmarshal(b, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jr.State != "pending" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job still pending after 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if jr.State != "done" || jr.Result == nil {
+		t.Fatalf("job state %q (error %q), want done with result", jr.State, jr.Error)
+	}
+	if want := float32(8); jr.Result.Root[0] != want {
+		t.Errorf("root[0] = %v, want %v", jr.Result.Root[0], want)
+	}
+
+	// The poll above stamped the job complete; after the TTL the next
+	// poll's GC pass reaps it.
+	time.Sleep(10 * time.Millisecond)
+	if r, _ := get(t, ts.URL+sub.URL); r.StatusCode != http.StatusNotFound {
+		t.Errorf("post-TTL poll status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestSubmitBadShape: validation resolves synchronously, so a bad shape
+// fails the submit itself — no job id is ever minted for it.
+func TestSubmitBadShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, _ := post(t, ts.URL+"/v1/submit", `{"shape":{"kind":"reduce1d","p":0,"b":4},"inputs":[]}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if n := s.jobs.len(); n != 0 {
+		t.Errorf("%d jobs resident after rejected submit, want 0", n)
+	}
+}
+
+// TestDrain503: once draining, API requests and the health check get 503
+// while /metrics stays up; Drain then closes the session cleanly.
+func TestDrain503(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if r, _ := get(t, ts.URL+"/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d before drain", r.StatusCode)
+	}
+	s.StartDrain()
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 4, 2), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("run while draining: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if r, _ := get(t, ts.URL+"/healthz"); r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", r.StatusCode)
+	}
+	if r, _ := get(t, ts.URL+"/metrics"); r.StatusCode != http.StatusOK {
+		t.Errorf("metrics while draining: status %d, want 200", r.StatusCode)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestTenantMapping: identity headers land in the scheduler's accounting
+// — pre-registered names keep their class, unknown names are admitted
+// under the default config, bearer tokens work as names.
+func TestTenantMapping(t *testing.T) {
+	sess := wse.NewSession(wse.SessionConfig{})
+	_, ts := newTestServer(t, Config{
+		Session:       sess,
+		Tenants:       []TenantSpec{{Name: "vip", Cfg: wse.TenantConfig{Priority: wse.Interactive, Weight: 4}}},
+		DefaultTenant: wse.TenantConfig{Priority: wse.Background, Weight: 1},
+	})
+	body := runBody("reduce1d", 4, 2)
+	for _, hdr := range []map[string]string{
+		{"X-WSE-Tenant": "vip"},
+		{"X-WSE-Tenant": "walkin"},
+		{"Authorization": "Bearer bearer-bob"},
+	} {
+		if resp, b := post(t, ts.URL+"/v1/run", body, hdr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run under %v: status %d: %s", hdr, resp.StatusCode, b)
+		}
+	}
+	st := sess.SchedStats()
+	if got := st.Tenants["vip"]; got.Class != "interactive" || got.Served != 1 {
+		t.Errorf("vip: class %q served %d, want interactive/1", got.Class, got.Served)
+	}
+	if got := st.Tenants["walkin"]; got.Class != "background" || got.Served != 1 {
+		t.Errorf("walkin: class %q served %d, want background/1 (default config)", got.Class, got.Served)
+	}
+	if got := st.Tenants["bearer-bob"]; got.Served != 1 {
+		t.Errorf("bearer-bob: served %d, want 1", got.Served)
+	}
+}
+
+// TestMetrics: the exposition carries the cache, scheduler, pool, job
+// and HTTP series, with tenant labels.
+func TestMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, b := post(t, ts.URL+"/v1/run", runBody("reduce1d", 4, 2), map[string]string{"X-WSE-Tenant": "m"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, b)
+	}
+	r, body := get(t, ts.URL+"/metrics")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type %q, want Prometheus text 0.0.4", ct)
+	}
+	text := string(body)
+	for _, line := range []string{
+		"wse_plan_cache_misses_total 1",
+		`wse_tenant_served_total{tenant="m",class="batch"} 1`,
+		"wse_pool_workers",
+		"wse_jobs_resident 0",
+		`wse_http_requests_total{endpoint="run",code="200"} 1`,
+		"wse_up 1",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics output missing %q", line)
+		}
+	}
+}

@@ -24,10 +24,12 @@ import (
 type SessionConfig struct {
 	// Options parameterise the simulated fabric for every collective the
 	// session runs; the zero value models the WSE-2. Options.Shards
-	// selects the sharded engine for every replay; Options.MaxCycles left
-	// at zero selects DefaultSessionMaxCycles rather than the simulator's
-	// near-unbounded default, so a stuck replay fails fast with a stall
-	// diagnostic instead of spinning for hours.
+	// selects the sharded engine for every replay (left at zero it
+	// auto-tunes from GOMAXPROCS per fabric size, bit-identically);
+	// Options.MaxCycles left at zero selects DefaultSessionMaxCycles
+	// rather than the simulator's near-unbounded default, so a stuck
+	// replay fails fast with a stall diagnostic instead of spinning for
+	// hours.
 	Options Options
 	// PlanCacheCapacity bounds the number of compiled plans kept resident
 	// (<= 0 selects the default of 128). Distinct shapes beyond the

@@ -29,6 +29,15 @@ func OpenPlanStore(dir string) (*PlanStore, error) {
 	return planstore.Open(dir)
 }
 
+// PlanStoreStats is the store's operation accounting — successful loads,
+// misses, load errors (with the quarantined subset), saves and save
+// errors, plus the indexed plan count — snapshotted by PlanStore.Stats.
+// Together with Session.PlanStats (cache hits/misses/evictions and the
+// session-side StoreHits/StoreErrors) it is the complete observability
+// surface of plan persistence; the serving daemon's /metrics endpoint is
+// fed from these two snapshots alone.
+type PlanStoreStats = planstore.Stats
+
 // Collective names a collective kind in a Shape.
 type Collective = plan.Kind
 
