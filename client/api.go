@@ -1,0 +1,292 @@
+package client
+
+// The verb surface and its wire types. The types mirror the daemon's
+// JSON exactly (internal/serve's ShapeWire/ReportWire), restated here so
+// the client package stands alone — importing it pulls in nothing but
+// the standard library, which is what makes it embeddable in tools that
+// never link the simulator.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Shape is a collective shape as the daemon's wire format spells it:
+// kind and algorithm names are the same strings the CLI flags take, and
+// zero-valued fields mean auto-selection or not-applicable.
+type Shape struct {
+	Kind   string `json:"kind"`
+	Alg    string `json:"alg,omitempty"`
+	Alg2D  string `json:"alg2d,omitempty"`
+	P      int    `json:"p,omitempty"`
+	Width  int    `json:"width,omitempty"`
+	Height int    `json:"height,omitempty"`
+	B      int    `json:"b"`
+	Op     string `json:"op,omitempty"`
+}
+
+// FabricStats is the cost-metrics slice of a run report.
+type FabricStats struct {
+	Hops        int64 `json:"hops"`
+	RampMoves   int64 `json:"ramp_moves"`
+	MaxReceived int64 `json:"max_received"`
+	MaxQueueLen int   `json:"max_queue_len"`
+	Noops       int64 `json:"noops,omitempty"`
+}
+
+// Report is the result of a run: measured cycles, the model estimate,
+// the root vector and the fabric cost metrics.
+type Report struct {
+	Cycles    int64       `json:"cycles"`
+	Predicted float64     `json:"predicted"`
+	Root      []float32   `json:"root,omitempty"`
+	Stats     FabricStats `json:"stats"`
+}
+
+// Job is one poll of an async submit: pending, done (Result set) or
+// failed (Error set).
+type Job struct {
+	ID     string  `json:"id"`
+	State  string  `json:"state"`
+	Result *Report `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+const (
+	tenantHeader      = "X-WSE-Tenant"
+	deadlineHeader    = "X-WSE-Deadline-Ms"
+	idempotencyHeader = "X-WSE-Idempotency-Key"
+)
+
+type runRequest struct {
+	Shape  Shape       `json:"shape"`
+	Inputs [][]float32 `json:"inputs,omitempty"`
+}
+
+type submitResponse struct {
+	ID  string `json:"id"`
+	URL string `json:"status_url"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Run executes a collective synchronously and returns its report.
+// Retryable: run is a pure function of the shape and inputs.
+func (c *Client) Run(ctx context.Context, sh Shape, inputs [][]float32) (*Report, error) {
+	var rep Report
+	err := c.do(ctx, "POST", "/v1/run", runRequest{Shape: sh, Inputs: inputs}, nil, true, &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Predict returns the daemon's analytical cycle estimate for a shape.
+func (c *Client) Predict(ctx context.Context, sh Shape) (float64, error) {
+	return c.estimate(ctx, "/v1/predict", "predicted_cycles", sh)
+}
+
+// Bound returns the daemon's runtime lower bound for a shape.
+func (c *Client) Bound(ctx context.Context, sh Shape) (float64, error) {
+	return c.estimate(ctx, "/v1/bound", "bound_cycles", sh)
+}
+
+func (c *Client) estimate(ctx context.Context, path, field string, sh Shape) (float64, error) {
+	var out map[string]float64
+	if err := c.do(ctx, "POST", path, runRequest{Shape: sh}, nil, true, &out); err != nil {
+		return 0, err
+	}
+	return out[field], nil
+}
+
+// Submit enqueues an async run and returns the job id to poll. A
+// non-empty key makes the call idempotent — the daemon dedupes
+// resubmissions carrying the same key per tenant — and therefore
+// retryable; with an empty key the client sends exactly one attempt,
+// because retrying an unkeyed submit could enqueue the work twice.
+func (c *Client) Submit(ctx context.Context, sh Shape, inputs [][]float32, key string) (string, error) {
+	var hdr map[string]string
+	if key != "" {
+		hdr = map[string]string{idempotencyHeader: key}
+	}
+	var resp submitResponse
+	err := c.do(ctx, "POST", "/v1/submit", runRequest{Shape: sh, Inputs: inputs}, hdr, key != "", &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Job polls an async job once. Retryable: polling is a read.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, "GET", "/v1/jobs/"+id, nil, nil, true, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Wait polls a job until it resolves (or ctx expires), sleeping
+// interval between polls (default 50ms). A failed job's server-side
+// error comes back as an error with the job's message.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*Report, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch j.State {
+		case "done":
+			return j.Result, nil
+		case "failed":
+			return nil, fmt.Errorf("client: job %s failed: %s", id, j.Error)
+		}
+		if err := c.sleep(ctx, interval); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Healthy reports whether the daemon answers /healthz with 200. One
+// attempt, no retries — health checks are themselves the probe.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// do is the retry core every verb funnels through: breaker gate, one
+// HTTP attempt, outcome classification, backoff, repeat. body is
+// marshalled once and replayed per attempt; out receives the decoded
+// 2xx JSON.
+func (c *Client) do(ctx context.Context, method, path string, body any, hdr map[string]string, idempotent bool, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts = c.cfg.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff(attempt - 1)
+			if ra := retryAfter(lastErr); ra > 0 {
+				wait = ra // the server named its price; pay exactly that
+			}
+			if err := c.sleep(ctx, wait); err != nil {
+				return fmt.Errorf("client: giving up after %d attempts: %w (last error: %v)", attempt, err, lastErr)
+			}
+			c.retries.Add(1)
+		}
+		if err := c.breakerAllow(); err != nil {
+			c.fastFails.Add(1)
+			lastErr = err
+			continue // cooldown may elapse during the next backoff
+		}
+		err := c.attempt(ctx, method, path, payload, hdr, out)
+		if err == nil {
+			c.breakerReport(true)
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline, not the service, killed the attempt:
+			// don't charge the breaker, don't keep trying.
+			return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+		}
+		c.breakerReport(!breakerFailure(err))
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// attempt sends one HTTP request and classifies the response. A non-2xx
+// status becomes an *APIError carrying the server's JSON error message
+// and any Retry-After hint.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, hdr map[string]string, out any) error {
+	c.attempts.Add(1)
+	actx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.cfg.Tenant != "" {
+		req.Header.Set(tenantHeader, c.cfg.Tenant)
+	}
+	// Forward the effective deadline so the server sheds work this
+	// client will have abandoned by the time it finishes.
+	if dl, ok := actx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		ae := &APIError{Status: resp.StatusCode}
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			ae.Msg = er.Error
+		} else {
+			ae.Msg = string(data)
+		}
+		if secs, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+// Package client is the Go client for a wsed daemon: the Shape-first
+// verbs (Run, Predict, Bound, Submit/Job) over HTTP with a production
+// retry discipline baked in, so callers get resilience without
+// re-deriving it per call site:
+//
+//   - Exponential backoff with equal jitter between attempts, honoring
+//     the server's Retry-After hint on 429 when it sends one.
+//   - Per-attempt timeouts and the caller's overall context deadline,
+//     which is also forwarded to the server as X-WSE-Deadline-Ms so the
+//     daemon sheds work the client has already given up on.
+//   - A consecutive-failure circuit breaker: after Threshold straight
+//     service failures the client fails fast (ErrBreakerOpen) without
+//     touching the network, then lets a single half-open probe through
+//     after Cooldown; the probe's outcome closes or re-opens it.
+//   - Idempotent-verb-only retries: run, predict, bound and job polls
+//     retry freely; submit retries only when the caller supplies an
+//     idempotency key (the daemon dedupes resubmissions on it), because
+//     blind submit retries would enqueue duplicate work.
+//
+// Retry classification follows the daemon's error taxonomy: transport
+// errors, 5xx and 429 are retryable; every other 4xx is the caller's
+// bug and is returned immediately. The breaker counts transport errors
+// and 5xx only — a 429 means the server is alive and explicitly asking
+// for patience, which is backoff's job, not the breaker's.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker is open
+// and the call was failed fast without a network attempt.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// APIError is a non-2xx response from the daemon, carrying the HTTP
+// status and the server's JSON error message.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // parsed Retry-After hint (zero when absent)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server status %d: %s", e.Status, e.Msg)
+}
+
+// Config assembles a Client. BaseURL is required; every knob has a
+// serving-grade default.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Tenant, when non-empty, is sent as X-WSE-Tenant on every request.
+	Tenant string
+	// HTTPClient overrides the transport (default: a plain http.Client;
+	// per-attempt timeouts come from AttemptTimeout, not the transport).
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds total tries per idempotent call, first attempt
+	// included (default 4). Non-idempotent calls always get exactly one.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay before jitter (default 100ms);
+	// each further retry doubles it up to MaxBackoff (default 5s). A
+	// server Retry-After hint overrides the computed delay.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds each individual attempt (default 0: only the
+	// caller's context bounds the call).
+	AttemptTimeout time.Duration
+
+	// BreakerThreshold is the consecutive service-failure count that
+	// opens the breaker (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before allowing
+	// a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+}
+
+// Metrics is a snapshot of the client's retry machinery, for load tools
+// and tests.
+type Metrics struct {
+	Attempts     int64 // HTTP attempts actually sent
+	Retries      int64 // attempts beyond the first, per call
+	FastFails    int64 // calls (or attempts) refused by an open breaker
+	BreakerOpens int64 // closed/half-open -> open transitions
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Client is a wsed client. Safe for concurrent use; the circuit breaker
+// is shared across all calls, which is the point — it models the health
+// of the one daemon behind BaseURL.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+
+	attempts  atomic.Int64
+	retries   atomic.Int64
+	fastFails atomic.Int64
+	opens     atomic.Int64
+
+	// Test seams. now/sleep/rng default to the real clock and a
+	// time-seeded PRNG; white-box tests inject deterministic versions.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu       sync.Mutex // guards breaker state and rng
+	rng      *rand.Rand
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// New builds a Client over a daemon base URL.
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{
+		cfg:   cfg,
+		hc:    hc,
+		now:   time.Now,
+		sleep: sleepCtx,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Metrics snapshots the retry counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Attempts:     c.attempts.Load(),
+		Retries:      c.retries.Load(),
+		FastFails:    c.fastFails.Load(),
+		BreakerOpens: c.opens.Load(),
+	}
+}
+
+// sleepCtx is the production sleep: a timer raced against the context.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryable reports whether an attempt's failure may be retried on an
+// idempotent call: transport errors, 5xx and 429. Any other APIError is
+// a caller bug (4xx) that no retry will fix.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500 || ae.Status == http.StatusTooManyRequests
+	}
+	return true // transport-level failure
+}
+
+// breakerFailure reports whether a failure should count against the
+// breaker: transport errors and 5xx. 429 is live-and-shedding, and
+// other 4xx prove the server is healthy.
+func breakerFailure(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true
+}
+
+// breakerAllow asks the breaker for permission to attempt. An open
+// breaker whose cooldown has elapsed transitions to half-open and
+// admits exactly one probe.
+func (c *Client) breakerAllow() error {
+	if c.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if c.now().Sub(c.openedAt) >= c.cfg.BreakerCooldown {
+			c.state = breakerHalfOpen
+			c.probing = true
+			return nil
+		}
+		return ErrBreakerOpen
+	default: // half-open
+		if c.probing {
+			return ErrBreakerOpen
+		}
+		c.probing = true
+		return nil
+	}
+}
+
+// breakerReport feeds an attempt's outcome back. Success closes the
+// breaker and zeroes the streak; a counted failure extends the streak
+// (opening at the threshold) or re-opens a half-open breaker outright.
+func (c *Client) breakerReport(ok bool) {
+	if c.cfg.BreakerThreshold < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == breakerHalfOpen {
+		c.probing = false
+	}
+	if ok {
+		c.fails = 0
+		c.state = breakerClosed
+		return
+	}
+	c.fails++
+	if c.state == breakerHalfOpen || c.fails >= c.cfg.BreakerThreshold {
+		if c.state != breakerOpen {
+			c.opens.Add(1)
+		}
+		c.state = breakerOpen
+		c.openedAt = c.now()
+		c.fails = 0
+	}
+}
+
+// backoff computes the delay before retry n (0-based): exponential
+// doubling from BaseBackoff capped at MaxBackoff, with equal jitter
+// (half fixed, half uniform random) so a herd of clients desynchronizes.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.cfg.BaseBackoff
+	for i := 0; i < n && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	half := d / 2
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.mu.Unlock()
+	return half + j
+}
+
+// retryAfter extracts the server's Retry-After hint in seconds.
+func retryAfter(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}

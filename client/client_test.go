@@ -1,0 +1,367 @@
+package client
+
+// White-box tests of the retry discipline: a scripted httptest server
+// plays status sequences, an injected clock makes sleeps and breaker
+// cooldowns instantaneous and observable, and a seeded PRNG makes the
+// jittered backoff sequence exactly reproducible.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock drives now/sleep deterministically: sleeps record their
+// duration and advance the clock instead of blocking.
+type fakeClock struct {
+	mu     sync.Mutex
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// scriptServer answers each request with the next scripted status (the
+// last status repeats forever). 2xx responses carry body; failures carry
+// a JSON error, and 429s a Retry-After header.
+type scriptServer struct {
+	ts         *httptest.Server
+	hits       atomic.Int64
+	retryAfter string
+	body       string
+
+	mu     sync.Mutex
+	script []int
+}
+
+func newScriptServer(t *testing.T, script ...int) *scriptServer {
+	t.Helper()
+	s := &scriptServer{script: script, body: `{"cycles":42,"predicted":40.5,"stats":{"hops":1}}`}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.hits.Add(1)
+		s.mu.Lock()
+		code := s.script[len(s.script)-1]
+		if int(n) <= len(s.script) {
+			code = s.script[n-1]
+		}
+		s.mu.Unlock()
+		if code >= 200 && code <= 299 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write([]byte(s.body))
+			return
+		}
+		if code == http.StatusTooManyRequests && s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf("scripted %d", code)})
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+// newTestClient wires a Client to the script server with the fake clock
+// and a seeded PRNG.
+func newTestClient(s *scriptServer, cfg Config) (*Client, *fakeClock) {
+	cfg.BaseURL = s.ts.URL
+	c := New(cfg)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = fc.now
+	c.sleep = fc.sleep
+	c.rng = rand.New(rand.NewSource(1))
+	return c, fc
+}
+
+func TestRunSuccess(t *testing.T) {
+	s := newScriptServer(t, 200)
+	c, _ := newTestClient(s, Config{})
+	rep, err := c.Run(context.Background(), Shape{Kind: "reduce1d", P: 8, B: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 42 || rep.Stats.Hops != 1 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if got := s.hits.Load(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestRetriesTransientThenSucceeds(t *testing.T) {
+	s := newScriptServer(t, 500, 503, 200)
+	c, fc := newTestClient(s, Config{MaxAttempts: 4})
+	if _, err := c.Run(context.Background(), Shape{Kind: "reduce1d", P: 8, B: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.hits.Load(); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	if len(fc.sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 backoffs", fc.sleeps)
+	}
+	// Equal jitter keeps each delay within [base/2, base] of its tier.
+	for i, d := range fc.sleeps {
+		base := 100 * time.Millisecond << i
+		if d < base/2 || d > base {
+			t.Errorf("backoff %d = %v, want in [%v, %v]", i, d, base/2, base)
+		}
+	}
+	m := c.Metrics()
+	if m.Attempts != 3 || m.Retries != 2 {
+		t.Fatalf("metrics %+v, want 3 attempts / 2 retries", m)
+	}
+}
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	c := New(Config{BaseURL: "http://x", BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond})
+	c.rng = rand.New(rand.NewSource(1))
+	want := rand.New(rand.NewSource(1))
+	for n, base := range []time.Duration{
+		100 * time.Millisecond, // retry 0
+		200 * time.Millisecond, // retry 1
+		400 * time.Millisecond, // retry 2: at cap
+		400 * time.Millisecond, // retry 3: stays at cap
+	} {
+		exp := base/2 + time.Duration(want.Int63n(int64(base/2)+1))
+		if got := c.backoff(n); got != exp {
+			t.Fatalf("backoff(%d) = %v, want %v", n, got, exp)
+		}
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	s := newScriptServer(t, 429, 200)
+	s.retryAfter = "7"
+	c, fc := newTestClient(s, Config{})
+	if _, err := c.Run(context.Background(), Shape{Kind: "reduce1d", P: 8, B: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.sleeps) != 1 || fc.sleeps[0] != 7*time.Second {
+		t.Fatalf("sleeps = %v, want exactly [7s] from Retry-After", fc.sleeps)
+	}
+}
+
+func Test400NeverRetried(t *testing.T) {
+	s := newScriptServer(t, 400)
+	c, fc := newTestClient(s, Config{MaxAttempts: 5})
+	_, err := c.Run(context.Background(), Shape{Kind: "bogus"}, nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := s.hits.Load(); got != 1 {
+		t.Fatalf("hits = %d — a 400 must never be retried", got)
+	}
+	if len(fc.sleeps) != 0 {
+		t.Fatalf("slept %v before a non-retryable failure", fc.sleeps)
+	}
+	// A 4xx proves the server healthy: the breaker streak resets.
+	if c.fails != 0 {
+		t.Fatalf("breaker streak = %d after 400, want 0", c.fails)
+	}
+}
+
+func TestBreakerOpensAndFailsFast(t *testing.T) {
+	s := newScriptServer(t, 500)
+	c, _ := newTestClient(s, Config{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: 10 * time.Second})
+	ctx := context.Background()
+	sh := Shape{Kind: "reduce1d", P: 8, B: 4}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Run(ctx, sh, nil); err == nil {
+			t.Fatal("scripted 500 succeeded")
+		}
+	}
+	if got := s.hits.Load(); got != 3 {
+		t.Fatalf("hits = %d, want 3 before the breaker opens", got)
+	}
+	// Threshold reached: the next call must fail fast, no network.
+	_, err := c.Run(ctx, sh, nil)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if got := s.hits.Load(); got != 3 {
+		t.Fatalf("hits = %d — an open breaker must not touch the network", got)
+	}
+	m := c.Metrics()
+	if m.BreakerOpens != 1 || m.FastFails == 0 {
+		t.Fatalf("metrics %+v, want 1 open and >0 fast-fails", m)
+	}
+}
+
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	s := newScriptServer(t, 500, 500, 500, 200)
+	c, fc := newTestClient(s, Config{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: 10 * time.Second})
+	ctx := context.Background()
+	sh := Shape{Kind: "reduce1d", P: 8, B: 4}
+	for i := 0; i < 3; i++ {
+		c.Run(ctx, sh, nil)
+	}
+	if _, err := c.Run(ctx, sh, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker should be open, got %v", err)
+	}
+	// Cooldown elapses: the half-open probe goes through, succeeds
+	// (script position 4 is a 200) and closes the breaker for good.
+	fc.advance(11 * time.Second)
+	if _, err := c.Run(ctx, sh, nil); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if _, err := c.Run(ctx, sh, nil); err != nil {
+		t.Fatalf("post-recovery call failed: %v", err)
+	}
+	if got := s.hits.Load(); got != 5 {
+		t.Fatalf("hits = %d, want 5 (3 failures + probe + 1 closed)", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	s := newScriptServer(t, 500)
+	c, fc := newTestClient(s, Config{MaxAttempts: 1, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second})
+	ctx := context.Background()
+	sh := Shape{Kind: "reduce1d", P: 8, B: 4}
+	c.Run(ctx, sh, nil)
+	c.Run(ctx, sh, nil) // opens
+	fc.advance(11 * time.Second)
+	c.Run(ctx, sh, nil) // probe: still 500 -> re-opens immediately
+	if _, err := c.Run(ctx, sh, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("failed probe must re-open the breaker, got %v", err)
+	}
+	if got := s.hits.Load(); got != 3 {
+		t.Fatalf("hits = %d, want 3 (2 + 1 probe)", got)
+	}
+	if c.Metrics().BreakerOpens != 2 {
+		t.Fatalf("opens = %d, want 2", c.Metrics().BreakerOpens)
+	}
+}
+
+func TestSubmitUnkeyedNeverRetried(t *testing.T) {
+	s := newScriptServer(t, 500)
+	c, fc := newTestClient(s, Config{MaxAttempts: 4})
+	if _, err := c.Submit(context.Background(), Shape{Kind: "reduce1d", P: 8, B: 4}, nil, ""); err == nil {
+		t.Fatal("scripted 500 succeeded")
+	}
+	if got := s.hits.Load(); got != 1 {
+		t.Fatalf("hits = %d — an unkeyed submit must not be retried", got)
+	}
+	if len(fc.sleeps) != 0 {
+		t.Fatalf("slept %v on a single-attempt call", fc.sleeps)
+	}
+}
+
+func TestSubmitKeyedRetries(t *testing.T) {
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get(idempotencyHeader))
+		if len(keys) == 1 {
+			w.WriteHeader(500)
+			json.NewEncoder(w).Encode(map[string]string{"error": "injected"})
+			return
+		}
+		w.WriteHeader(202)
+		json.NewEncoder(w).Encode(map[string]string{"id": "j7", "status_url": "/v1/jobs/j7"})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, MaxAttempts: 3})
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	c.now, c.sleep = fc.now, fc.sleep
+	c.rng = rand.New(rand.NewSource(1))
+	id, err := c.Submit(context.Background(), Shape{Kind: "reduce1d", P: 8, B: 4}, nil, "k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j7" {
+		t.Fatalf("id = %q", id)
+	}
+	if len(keys) != 2 || keys[0] != "k1" || keys[1] != "k1" {
+		t.Fatalf("keys = %v, want the same key on every attempt", keys)
+	}
+}
+
+func TestOverallDeadlineStopsRetries(t *testing.T) {
+	s := newScriptServer(t, 500)
+	c, _ := newTestClient(s, Config{MaxAttempts: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Run(ctx, Shape{Kind: "reduce1d", P: 8, B: 4}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most the one in-flight attempt; the sleep loop must bail.
+	if got := s.hits.Load(); got > 1 {
+		t.Fatalf("hits = %d after cancel", got)
+	}
+}
+
+func TestDeadlineHeaderForwarded(t *testing.T) {
+	var hdr atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hdr.Store(r.Header.Get(deadlineHeader))
+		w.Write([]byte(`{"cycles":1,"predicted":1,"stats":{}}`))
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL, Tenant: "acme"})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := c.Run(ctx, Shape{Kind: "reduce1d", P: 8, B: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := hdr.Load().(string)
+	if got == "" {
+		t.Fatal("deadline header not forwarded")
+	}
+}
+
+func TestWaitPollsToDone(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) < 3 {
+			json.NewEncoder(w).Encode(Job{ID: "j1", State: "pending"})
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: "done", Result: &Report{Cycles: 99}})
+	}))
+	defer ts.Close()
+	c := New(Config{BaseURL: ts.URL})
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	c.now, c.sleep = fc.now, fc.sleep
+	rep, err := c.Wait(context.Background(), "j1", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 99 {
+		t.Fatalf("cycles = %d", rep.Cycles)
+	}
+	if polls.Load() != 3 {
+		t.Fatalf("polls = %d, want 3", polls.Load())
+	}
+}

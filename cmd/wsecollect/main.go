@@ -20,6 +20,11 @@
 //	    hammer a running wsed daemon's /v1/run over the network with the
 //	    -tenants weights as the request mix, and write BENCH_serve.json
 //	    (RPS, p50/p99 wire latency, per-status counts).
+//	wsecollect chaos [-requests N] [-failpoints SPEC] [shape flags]
+//	    failure drill: drive a daemon (in-process, or -url for an external
+//	    one launched with WSE_FAILPOINTS) through the retrying client with
+//	    faults firing, assert the failure-model invariants, and write
+//	    BENCH_chaos.json (served/shed/retried counts, recovery p99).
 //
 // Examples:
 //
@@ -82,6 +87,7 @@ type config struct {
 	requests   int
 	out        string
 	compare    string
+	failpoints string
 	// set records which flags were passed explicitly, for defaults that
 	// differ per subcommand (serve bursts -repeat 64 unless given).
 	set map[string]bool
@@ -115,6 +121,7 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.IntVar(&c.requests, "requests", 256, "load: total requests to send")
 	fs.StringVar(&c.out, "out", "BENCH_serve.json", "load: where to write the wire-latency trajectory point")
 	fs.StringVar(&c.compare, "compare", "BENCH_api.json", "load: in-process trajectory point to diff against (\"\" to skip)")
+	fs.StringVar(&c.failpoints, "failpoints", "", "chaos: failpoint schedule for the in-process daemon (site=mode[:p=F][:count=N][:delay=D], semicolon list; default: 5% error on every inner seam)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -164,8 +171,10 @@ func realMain() int {
 		err = serveCmd(c)
 	case "load":
 		err = loadCmd(c)
+	case "chaos":
+		err = chaosCmd(c)
 	default:
-		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load, chaos)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	wse "repro"
+	"repro/internal/faults"
 	"repro/internal/serve"
 )
 
@@ -43,7 +44,8 @@ func realMain() int {
 	warm := fs.Bool("warm", false, "preload every stored plan before listening (requires -store)")
 	tenants := fs.String("tenants", "", "pre-registered tenants: comma list of name:class:weight[:maxqueue]")
 	defTenant := fs.String("default-tenant", "batch:1", "QoS for unknown tenant names: class:weight[:maxqueue]")
-	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	retryAfter := fs.Duration("retry-after", time.Second, "floor of the load-derived Retry-After hint on 429 responses")
+	reqTimeout := fs.Duration("request-timeout", 0, "server-side deadline per synchronous request (0 = unbounded; clients tighten per request via X-WSE-Deadline-Ms)")
 	jobTTL := fs.Duration("job-ttl", 5*time.Minute, "how long completed async jobs stay pollable")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "cap on the SIGTERM graceful drain")
 	maxCycles := fs.Int64("maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28)")
@@ -95,12 +97,13 @@ func realMain() int {
 	}
 
 	srv := serve.New(serve.Config{
-		Session:       sess,
-		Store:         store,
-		DefaultTenant: defCfg,
-		Tenants:       specs,
-		RetryAfter:    *retryAfter,
-		JobTTL:        *jobTTL,
+		Session:        sess,
+		Store:          store,
+		DefaultTenant:  defCfg,
+		Tenants:        specs,
+		RetryAfter:     *retryAfter,
+		RequestTimeout: *reqTimeout,
+		JobTTL:         *jobTTL,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -126,6 +129,11 @@ func realMain() int {
 		logger.Println("drained")
 	}()
 
+	// A daemon running a chaos drill should say so: failpoints armed via
+	// WSE_FAILPOINTS would otherwise be indistinguishable from real faults.
+	if armed := faults.Active(); len(armed) > 0 {
+		logger.Printf("FAILPOINTS ARMED (chaos drill): %s", strings.Join(armed, "; "))
+	}
 	logger.Printf("listening on %s (%d pre-registered tenants, store=%q)", *addr, len(specs), *storeDir)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Println(err)

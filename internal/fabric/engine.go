@@ -267,6 +267,12 @@ type Fabric struct {
 	workersUp bool
 	cmd       []chan phaseToken
 	done      chan int
+
+	// interrupt, when non-nil, is polled every interruptStride cycles; a
+	// non-nil return aborts the run with that error. It is the watchdog
+	// seam: the plan layer points it at the request context so a stuck
+	// replay is cut at its deadline instead of spinning to MaxCycles.
+	interrupt func() error
 }
 
 type phaseToken uint8
@@ -816,12 +822,31 @@ func (f *Fabric) RunColumnar(res *ColumnarResult) error {
 	return f.resultColumnar(res)
 }
 
+// interruptStride is how many cycles pass between watchdog polls. A
+// power of two keeps the check a mask + branch; at ~ns per cycle the
+// poll latency ceiling is microseconds, far below any useful deadline.
+const interruptStride = 1024
+
+// SetInterrupt installs (or, with nil, removes) a watchdog polled every
+// interruptStride cycles during runToCompletion; a non-nil return aborts
+// the run with that error wrapped. The hook must be fast and must not
+// touch the fabric. Callers set it per run and clear it afterwards —
+// pooled fabrics are reused and a stale hook would outlive its request.
+func (f *Fabric) SetInterrupt(poll func() error) {
+	f.interrupt = poll
+}
+
 // runToCompletion steps the engine until the program finishes and the
 // network drains; result assembly is the caller's choice (maps via
 // result, flat via resultColumnar).
 func (f *Fabric) runToCompletion() error {
 	defer f.stopWorkers()
 	for {
+		if f.interrupt != nil && f.cycle&(interruptStride-1) == 0 {
+			if err := f.interrupt(); err != nil {
+				return fmt.Errorf("fabric: interrupted at cycle %d: %w", f.cycle, err)
+			}
+		}
 		pending, inflight, active := 0, int64(0), 0
 		for si := range f.shards {
 			sh := &f.shards[si]

@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestInterruptAborts: a watchdog hook returning an error stops the run
+// long before MaxCycles, with the hook's error wrapped.
+func TestInterruptAborts(t *testing.T) {
+	f, err := New(twoPE(256), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("deadline")
+	f.SetInterrupt(func() error { return sentinel })
+	_, err = f.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted at cycle") {
+		t.Fatalf("error %q lacks cycle diagnostic", err)
+	}
+}
+
+// TestInterruptNilIsFree: a nil hook leaves runs untouched and
+// bit-identical to a fabric that never had one installed.
+func TestInterruptNilIsFree(t *testing.T) {
+	base, err := New(twoPE(64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := New(twoPE(64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetInterrupt(func() error { return nil })
+	f.SetInterrupt(nil)
+	got, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("cycles %d != %d", got.Cycles, want.Cycles)
+	}
+}
+
+// TestInterruptBenignHook: a hook that always returns nil must not
+// perturb the result.
+func TestInterruptBenignHook(t *testing.T) {
+	base, err := New(twoPE(64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := New(twoPE(64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polls := 0
+	f.SetInterrupt(func() error { polls++; return nil })
+	got, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Fatal("hook never polled")
+	}
+	if got.Cycles != want.Cycles {
+		t.Fatalf("cycles %d != %d", got.Cycles, want.Cycles)
+	}
+}

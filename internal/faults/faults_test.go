@@ -1,0 +1,184 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	Set("x", Point{})
+	err := Inject("x")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "x") {
+		t.Fatalf("error %q does not name the site", err)
+	}
+	if err := Inject("y"); err != nil {
+		t.Fatalf("unarmed sibling site failed: %v", err)
+	}
+	if Fired("x") != 1 {
+		t.Fatalf("fired count = %d, want 1", Fired("x"))
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Set("boom", Point{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+	}()
+	Inject("boom")
+}
+
+func TestLatencyMode(t *testing.T) {
+	defer Reset()
+	Set("slow", Point{Mode: ModeLatency, Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatalf("latency mode returned %v", err)
+	}
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("latency mode slept %v, want >= 20ms", d)
+	}
+}
+
+func TestCountDisarms(t *testing.T) {
+	defer Reset()
+	Set("twice", Point{Count: 2})
+	if Inject("twice") == nil || Inject("twice") == nil {
+		t.Fatal("first two Injects should fail")
+	}
+	if err := Inject("twice"); err != nil {
+		t.Fatalf("exhausted point still fails: %v", err)
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("exhausted point still armed: %v", got)
+	}
+	// The fast path must be restored: armed gate back to zero.
+	if armed.Load() != 0 {
+		t.Fatalf("armed gate = %d after exhaustion, want 0", armed.Load())
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	defer Reset()
+	count := func() int {
+		Reset()
+		SetSeed(42)
+		Set("maybe", Point{P: 0.3})
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if Inject("maybe") != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := count(), count()
+	if a != b {
+		t.Fatalf("same seed, different trigger counts: %d vs %d", a, b)
+	}
+	if a < 200 || a > 400 {
+		t.Fatalf("p=0.3 triggered %d/1000", a)
+	}
+}
+
+func TestEnableSpec(t *testing.T) {
+	defer Reset()
+	err := Enable("planstore.load=error:p=0.5;fabric.exec=panic:count=3; serve.run=latency:delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Active()
+	want := []string{
+		"fabric.exec=panic:count=3",
+		"planstore.load=error:p=0.5",
+		"serve.run=latency:delay=5ms",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Active() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Active()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnableRejectsMalformed(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{
+		"nosign",
+		"x=explode",
+		"x=error:p=2",
+		"x=error:count=0",
+		"x=latency:delay=-1s",
+		"x=error:p",
+		"x=error:frob=1",
+	} {
+		if err := Enable(spec); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+		}
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("failed Enable armed sites: %v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	defer Reset()
+	Set("x", Point{})
+	if !Clear("x") {
+		t.Fatal("Clear(x) = false")
+	}
+	if Clear("x") {
+		t.Fatal("double Clear(x) = true")
+	}
+	if err := Inject("x"); err != nil {
+		t.Fatalf("cleared site still fails: %v", err)
+	}
+}
+
+// TestConcurrentInject runs under -race: concurrent Injects against a
+// counted point must neither race nor over-trigger.
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	Set("c", Point{Count: 100})
+	var wg sync.WaitGroup
+	var hits sync.Map
+	fails := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Inject("c") != nil {
+					fails[g]++
+				}
+			}
+			hits.Store(g, fails[g])
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fails {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("count=100 point triggered %d times", total)
+	}
+}

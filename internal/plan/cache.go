@@ -2,6 +2,7 @@ package plan
 
 import (
 	"container/list"
+	"log"
 	"sync"
 )
 
@@ -22,7 +23,12 @@ type CacheStats struct {
 	Evictions   int64
 	StoreHits   int64
 	StoreErrors int64
-	Size        int
+	// LastStoreError is the message of the most recent failed store
+	// operation ("" while none has failed). Store failures are absorbed —
+	// lookups fall back to the compiler — so without this field a dying
+	// store is visible only as a bare counter.
+	LastStoreError string
+	Size           int
 }
 
 // PlanStore is plan persistence as the cache and session consume it: a
@@ -56,6 +62,10 @@ type Cache struct {
 	compiling map[Key]*inflight
 	store     PlanStore
 	stats     CacheStats
+	// storeErrLogged dedupes the store-failure log line: one warning per
+	// attached store, not one per degraded request. SetStore resets it, so
+	// swapping in a replacement store re-arms the warning.
+	storeErrLogged bool
 }
 
 type inflight struct {
@@ -82,6 +92,7 @@ func NewCache(capacity int) *Cache {
 func (c *Cache) SetStore(ps PlanStore) {
 	c.mu.Lock()
 	c.store = ps
+	c.storeErrLogged = false
 	c.mu.Unlock()
 }
 
@@ -94,7 +105,7 @@ func (c *Cache) Get(req Request) (*Plan, error) {
 		if ps != nil {
 			switch p, ok, err := ps.Load(key); {
 			case err != nil:
-				c.noteStoreError()
+				c.noteStoreError(err)
 			case ok:
 				c.noteStoreHit()
 				return p, nil
@@ -103,7 +114,7 @@ func (c *Cache) Get(req Request) (*Plan, error) {
 		p, err := Compile(req)
 		if err == nil && ps != nil {
 			if serr := ps.Save(p); serr != nil {
-				c.noteStoreError()
+				c.noteStoreError(serr)
 			}
 		}
 		return p, err
@@ -190,10 +201,16 @@ func (c *Cache) noteStoreHit() {
 	c.mu.Unlock()
 }
 
-func (c *Cache) noteStoreError() {
+func (c *Cache) noteStoreError(err error) {
 	c.mu.Lock()
 	c.stats.StoreErrors++
+	c.stats.LastStoreError = err.Error()
+	logIt := !c.storeErrLogged
+	c.storeErrLogged = true
 	c.mu.Unlock()
+	if logIt {
+		log.Printf("plan: store degraded (falling back to compile; logged once per store): %v", err)
+	}
 }
 
 // insert adds a plan under key, evicting from the cold end at capacity.

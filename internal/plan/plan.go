@@ -19,7 +19,9 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/mesh"
+	"repro/internal/sched"
 )
 
 // Kind names a collective a plan can capture.
@@ -198,6 +200,9 @@ func (r Request) resolve() Request {
 // it, and records the model prediction. This is the cold path the cache
 // amortises away.
 func Compile(req Request) (*Plan, error) {
+	if err := faults.Inject("plan.compile"); err != nil {
+		return nil, err
+	}
 	key := KeyOf(req)
 	req = req.resolve()
 	tr := req.tr()
@@ -461,11 +466,29 @@ func (p *Plan) Execute(inputs [][]float32) (*core.Report, error) {
 
 // ExecuteOpts is Execute with per-replay options.
 func (p *Plan) ExecuteOpts(inputs [][]float32, eo ExecOptions) (*core.Report, error) {
+	return p.ExecuteCtx(nil, inputs, eo)
+}
+
+// ExecuteCtx is ExecuteOpts under a watchdog: while the replay runs, the
+// fabric polls ctx every few thousand cycles and aborts with a typed
+// deadline/cancellation error (sched.CtxError) instead of simulating to
+// MaxCycles for a caller that already left. A nil ctx — or one that can
+// never fire, like context.Background() — runs without the hook.
+func (p *Plan) ExecuteCtx(ctx context.Context, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
+	if err := faults.Inject("fabric.exec"); err != nil {
+		return nil, err
+	}
 	pf, err := p.checkout(inputs)
 	if err != nil {
 		return nil, err
 	}
+	if ctx != nil && ctx.Done() != nil {
+		pf.f.SetInterrupt(func() error { return sched.CtxError(ctx) })
+	}
 	rep, err := p.runOn(pf, eo)
+	// Clear the hook before the instance can be pooled: a pooled fabric
+	// outlives this request and must not poll its dead context.
+	pf.f.SetInterrupt(nil)
 	if err != nil {
 		// Keep failed instances out of the pool: the error path is cold
 		// and a fresh New is the conservative restart.
@@ -490,6 +513,9 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 	if len(batches) == 0 {
 		return nil, nil
 	}
+	if err := faults.Inject("fabric.exec"); err != nil {
+		return nil, err
+	}
 	// Validate every batch entry before simulating any: a malformed entry
 	// mid-batch must not discard completed work for a shape error the
 	// caller could have been told about up front.
@@ -512,17 +538,22 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 	for i, inputs := range batches {
 		if ctx != nil && ctx.Err() != nil {
 			if pf != nil {
+				pf.f.SetInterrupt(nil)
 				p.pool.Put(pf) // the instance is healthy; only the caller left
 			}
-			return nil, ctx.Err()
+			return nil, sched.CtxError(ctx)
 		}
 		if pf == nil {
 			var err error
 			if pf, err = p.checkout(inputs); err != nil {
 				return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
 			}
+			if ctx != nil && ctx.Done() != nil {
+				pf.f.SetInterrupt(func() error { return sched.CtxError(ctx) })
+			}
 		} else {
 			if err := p.setInits(pf.s, inputs); err != nil {
+				pf.f.SetInterrupt(nil)
 				p.pool.Put(pf)
 				return nil, fmt.Errorf("plan: batch run %d: %w", i, err)
 			}
@@ -568,6 +599,7 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 		}
 		reports[i] = rep
 	}
+	pf.f.SetInterrupt(nil)
 	p.pool.Put(pf)
 	return reports, nil
 }

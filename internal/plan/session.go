@@ -99,8 +99,11 @@ func (s *Session) submitAdmitted(ctx context.Context, tenant string, req Request
 		return nil, err
 	}
 	var rep *core.Report
-	if err := s.sch.Submit(ctx, tenant, func(context.Context) error {
-		r, e := p.ExecuteOpts(inputs, eo)
+	// The worker hands the submitter's ctx to the replay, where it becomes
+	// the fabric watchdog: a deadline firing mid-simulation aborts the run
+	// (typed sched.ErrDeadline) instead of spinning to MaxCycles.
+	if err := s.sch.Submit(ctx, tenant, func(c context.Context) error {
+		r, e := p.ExecuteCtx(c, inputs, eo)
 		rep = r
 		return e
 	}); err != nil {

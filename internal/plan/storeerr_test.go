@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"bytes"
+	"log"
+	"strings"
+	"testing"
+)
+
+// TestLastStoreErrorSurfaced: write-through failures must not stay a
+// bare counter — the last error string lands in CacheStats and exactly
+// one warning is logged per attached store.
+func TestLastStoreErrorSurfaced(t *testing.T) {
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	c := NewCache(4)
+	ms := newMemStore()
+	ms.failSave = true
+	c.SetStore(ms)
+
+	if _, err := c.Get(warmReq(4)); err != nil {
+		t.Fatalf("store failure must not fail the lookup: %v", err)
+	}
+	if _, err := c.Get(warmReq(5)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.StoreErrors != 2 {
+		t.Fatalf("StoreErrors = %d, want 2", st.StoreErrors)
+	}
+	if !strings.Contains(st.LastStoreError, "save failure") {
+		t.Fatalf("LastStoreError = %q", st.LastStoreError)
+	}
+	if n := strings.Count(buf.String(), "store degraded"); n != 1 {
+		t.Fatalf("logged %d times, want once per store:\n%s", n, buf.String())
+	}
+
+	// Re-attaching a store re-arms the warning.
+	buf.Reset()
+	c.SetStore(ms)
+	if _, err := c.Get(warmReq(6)); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "store degraded"); n != 1 {
+		t.Fatalf("re-attached store logged %d times, want 1", n)
+	}
+}
+
+// TestLastStoreErrorEmptyWhenHealthy: a healthy store leaves the field
+// blank.
+func TestLastStoreErrorEmptyWhenHealthy(t *testing.T) {
+	c := NewCache(4)
+	c.SetStore(newMemStore())
+	if _, err := c.Get(warmReq(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.LastStoreError != "" || st.StoreErrors != 0 {
+		t.Fatalf("healthy store produced %+v", st)
+	}
+}

@@ -1,0 +1,44 @@
+package planstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestFailpoints: the planstore.load / planstore.save sites fail the
+// store operations before any disk I/O, with the failures counted in
+// store stats — the seam chaos runs degrade through.
+func TestFailpoints(t *testing.T) {
+	defer faults.Reset()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustCompile(t, storeReq(8))
+	if _, err := s.Put(p); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Set("planstore.load", faults.Point{Count: 1})
+	if _, _, err := s.Load(p.Key); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Load under failpoint: %v", err)
+	}
+	if _, ok, err := s.Load(p.Key); err != nil || !ok {
+		t.Fatalf("Load after failpoint exhausted: ok=%v err=%v", ok, err)
+	}
+
+	faults.Set("planstore.save", faults.Point{Count: 1})
+	if err := s.Save(p); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Save under failpoint: %v", err)
+	}
+	if err := s.Save(p); err != nil {
+		t.Fatalf("Save after failpoint exhausted: %v", err)
+	}
+
+	st := s.Stats()
+	if st.LoadErrors != 1 || st.SaveErrors != 1 {
+		t.Fatalf("stats after injected faults: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/plan"
 )
 
@@ -152,6 +153,10 @@ func (s *Store) Save(p *plan.Plan) error {
 
 // Put is Save returning the plan's content address.
 func (s *Store) Put(p *plan.Plan) (string, error) {
+	if err := faults.Inject("planstore.save"); err != nil {
+		s.note(func(st *Stats) { st.SaveErrors++ })
+		return "", err
+	}
 	data, hash, err := Encode(p)
 	if err != nil {
 		s.note(func(st *Stats) { st.SaveErrors++ })
@@ -188,6 +193,10 @@ func (s *Store) Put(p *plan.Plan) (string, error) {
 // from the index, and reported as an error — the caller falls back to
 // compiling, and the operator can inspect the quarantined blob.
 func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
+	if err := faults.Inject("planstore.load"); err != nil {
+		s.note(func(st *Stats) { st.LoadErrors++ })
+		return nil, false, err
+	}
 	s.mu.Lock()
 	hash, ok := s.index[key]
 	if !ok {

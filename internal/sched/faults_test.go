@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// balanced asserts the ledger invariant submitted = served + rejected +
+// cancelled for one tenant (Failed ⊂ Served: failed requests ran).
+func balanced(t *testing.T, ts TenantStats) {
+	t.Helper()
+	if ts.Submitted != ts.Served+ts.Rejected+ts.Cancelled {
+		t.Fatalf("accounting leak: submitted=%d served=%d rejected=%d cancelled=%d",
+			ts.Submitted, ts.Served, ts.Rejected, ts.Cancelled)
+	}
+}
+
+// TestPanicIsolation is the blast-radius check: a panicking request
+// resolves to a typed PanicError, the pool keeps serving, and the
+// ledger stays balanced with the panic counted Served+Failed.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{})
+
+	err := s.Submit(context.Background(), "A", func(context.Context) error {
+		panic("poisoned shape")
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("want ErrPanic, got %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %T", err)
+	}
+	if pe.Value != "poisoned shape" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("Error() leaks raw stack: %q", err.Error())
+	}
+	if pe.Stack == "" || !strings.Contains(pe.Stack, "faults_test.go") {
+		t.Fatalf("sanitized stack lost the panic frame:\n%s", pe.Stack)
+	}
+	// The top frame must be the panicking code, not recovery machinery.
+	if strings.Contains(pe.Stack, "debug.Stack") || strings.Contains(pe.Stack, "gopanic") {
+		t.Fatalf("stack not sanitized of recovery machinery:\n%s", pe.Stack)
+	}
+	if top := strings.SplitN(pe.Stack, "\n", 2)[0]; !strings.Contains(top, "TestPanicIsolation") {
+		t.Fatalf("top frame %q is not the panic site:\n%s", top, pe.Stack)
+	}
+
+	// The pool survives: later requests on the same workers succeed.
+	for i := 0; i < 4; i++ {
+		if err := s.Submit(context.Background(), "A", func(context.Context) error { return nil }); err != nil {
+			t.Fatalf("request %d after panic: %v", i, err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", st.Panics)
+	}
+	ts := st.Tenants["A"]
+	if ts.Submitted != 5 || ts.Served != 5 || ts.Failed != 1 {
+		t.Fatalf("ledger after panic: %+v", ts)
+	}
+	balanced(t, ts)
+}
+
+// TestPanicsConcurrently hammers the recovery path under -race: many
+// panicking and healthy requests interleave and every panic is isolated.
+func TestPanicsConcurrently(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{})
+
+	const n = 64
+	var wg sync.WaitGroup
+	var panics, oks int64
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := s.Submit(context.Background(), "A", func(context.Context) error {
+				if i%3 == 0 {
+					panic(i)
+				}
+				return nil
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrPanic):
+				panics++
+			case err == nil:
+				oks++
+			default:
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	wantPanics := int64((n + 2) / 3)
+	if panics != wantPanics || oks != n-wantPanics {
+		t.Fatalf("panics=%d oks=%d, want %d/%d", panics, oks, wantPanics, n-wantPanics)
+	}
+	st := s.Stats()
+	if st.Panics != wantPanics {
+		t.Fatalf("Stats.Panics = %d, want %d", st.Panics, wantPanics)
+	}
+	balanced(t, st.Tenants["A"])
+}
+
+// TestDispatchShed proves queue-wait deadline shedding: a request whose
+// ctx expires while queued is never executed — the worker sheds it at
+// dispatch, it's counted cancelled, and the caller gets a typed
+// ErrDeadline.
+func TestDispatchShed(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{})
+
+	release, gateDone := gate(t, s, "A", 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ran := false
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- s.Submit(ctx, "A", func(context.Context) error {
+			ran = true
+			return nil
+		})
+	}()
+	waitDepth(t, s, 1)
+	<-ctx.Done() // expire while queued, worker still gated
+
+	release()
+	gateDone()
+	err := <-errCh
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrDeadline must still match context.DeadlineExceeded: %v", err)
+	}
+	if ran {
+		t.Fatal("expired request was executed")
+	}
+
+	ts := s.Stats().Tenants["A"]
+	if ts.Cancelled != 1 {
+		t.Fatalf("shed request not counted cancelled: %+v", ts)
+	}
+	balanced(t, ts)
+}
+
+// TestCtxErrorPlainCancel: cancellation without a deadline is not
+// dressed up as ErrDeadline.
+func TestCtxErrorPlainCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := CtxError(ctx); !errors.Is(err, context.Canceled) || errors.Is(err, ErrDeadline) {
+		t.Fatalf("CtxError(cancelled) = %v", err)
+	}
+}
+
+// TestDispatchFailpoint: the sched.dispatch site fails a request inside
+// the isolation boundary; the task counts Served+Failed and the error
+// surfaces typed.
+func TestDispatchFailpoint(t *testing.T) {
+	defer faults.Reset()
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{})
+
+	faults.Set("sched.dispatch", faults.Point{Count: 1})
+	ran := false
+	err := s.Submit(context.Background(), "A", func(context.Context) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if ran {
+		t.Fatal("failpoint did not preempt the run closure")
+	}
+	if err := s.Submit(context.Background(), "A", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("after failpoint exhausted: %v", err)
+	}
+	ts := s.Stats().Tenants["A"]
+	if ts.Served != 2 || ts.Failed != 1 {
+		t.Fatalf("ledger after injected dispatch failure: %+v", ts)
+	}
+	balanced(t, ts)
+}
+
+// TestDispatchPanicFailpoint: an injected dispatch panic takes the same
+// recovery path as an organic one.
+func TestDispatchPanicFailpoint(t *testing.T) {
+	defer faults.Reset()
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.SetTenant("A", TenantConfig{})
+
+	faults.Set("sched.dispatch", faults.Point{Mode: faults.ModePanic, Count: 1})
+	err := s.Submit(context.Background(), "A", func(context.Context) error { return nil })
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("want ErrPanic, got %v", err)
+	}
+	if got := s.Stats().Panics; got != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", got)
+	}
+}

@@ -30,9 +30,15 @@ package sched
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Priority is a strict dispatch class. The zero value is Batch; the
@@ -82,6 +88,75 @@ var ErrClosed = errors.New("sched: scheduler closed")
 // their tenant was removed out from under them.
 var ErrTenantRemoved = errors.New("sched: tenant removed")
 
+// ErrPanic marks requests whose work panicked inside a worker. The
+// worker recovers the panic into a PanicError (which wraps this
+// sentinel), so one poisoned request fails typed instead of killing the
+// process; test with errors.Is(err, ErrPanic).
+var ErrPanic = errors.New("sched: request panicked")
+
+// ErrDeadline marks requests cut short by a context deadline — while
+// queued (shed before dispatch), at dispatch (expired entries never
+// execute), or mid-run (the watchdog aborts the work). Errors wrapping
+// it also wrap context.DeadlineExceeded, so both errors.Is checks hold.
+var ErrDeadline = errors.New("sched: deadline exceeded")
+
+// CtxError translates a context's error into the scheduler's taxonomy:
+// deadline expiry gains the typed ErrDeadline mark (still matching
+// context.DeadlineExceeded), plain cancellation passes through. It is
+// exported for layers (the plan executor's watchdog) that surface
+// context expiry from inside the work itself.
+func CtxError(ctx context.Context) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	}
+	return err
+}
+
+// PanicError is a recovered worker panic: the panic value plus a
+// sanitized stack (the panicking request's frames, with the recovery
+// plumbing trimmed). Error() deliberately excludes the stack — it is
+// operator material for logs and metrics, not something a serving layer
+// should echo to clients.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("sched: request panicked: %v", e.Value) }
+
+// Is makes errors.Is(err, ErrPanic) match.
+func (e *PanicError) Is(target error) bool { return target == ErrPanic }
+
+// sanitizeStack trims a debug.Stack dump to the frames below the
+// scheduler's recovery point: the goroutine header and the panic/recover
+// plumbing are dropped, leaving the frames of the work that panicked.
+func sanitizeStack(stack []byte) string {
+	lines := strings.Split(string(stack), "\n")
+	// Drop the "goroutine N [running]:" header and the contiguous prefix
+	// of recovery machinery (debug.Stack, the recover closure, the
+	// runtime's panic plumbing) so the first surviving frame is the code
+	// that actually panicked. Stop at the first real frame — runIsolated
+	// also appears *below* the user's code as its caller and must stay.
+	start := 1
+	for start+1 < len(lines) {
+		f := lines[start]
+		if strings.HasPrefix(f, "runtime/debug.Stack") ||
+			strings.HasPrefix(f, "panic(") ||
+			strings.HasPrefix(f, "runtime.gopanic") ||
+			strings.HasPrefix(f, "runtime.panic") ||
+			strings.Contains(f, ").runIsolated.func") {
+			start += 2
+			continue
+		}
+		break
+	}
+	if start >= len(lines) {
+		start = 1
+	}
+	return strings.TrimRight(strings.Join(lines[start:], "\n"), "\n")
+}
+
 // TenantConfig sets a tenant's share of the pool. The zero value is a
 // weight-1 Batch tenant with the default queue bound.
 type TenantConfig struct {
@@ -130,6 +205,7 @@ const (
 	taskRunning
 	taskAbandoned // terminal: caller's ctx fired mid-run; counted cancelled
 	taskDone      // terminal: executed (counted served, Failed if it errored)
+	taskShed      // terminal: ctx already expired at dispatch; counted cancelled, never ran
 )
 
 type task struct {
@@ -177,6 +253,11 @@ type Scheduler struct {
 	satSince  time.Time     // nonzero while every worker is busy
 	saturated time.Duration // cumulative all-workers-busy time
 	wg        sync.WaitGroup
+
+	// panics counts worker panics recovered into PanicErrors — the
+	// poisoned-request signal /metrics watches. Atomic: bumped on the
+	// recovery path, read by Stats without the mutex.
+	panics atomic.Int64
 }
 
 // New creates a scheduler. The worker goroutines are spawned lazily on
@@ -329,6 +410,12 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run func(context.
 
 	s.mu.Lock()
 	switch t.state {
+	case taskShed:
+		// The worker shed the expired entry at dispatch and accounted it;
+		// its error (the typed deadline/cancellation) is already set.
+		s.mu.Unlock()
+		<-t.done
+		return t.err
 	case taskQueued:
 		// Unqueue: the entry stays in the FIFO slice (dropped when it
 		// reaches the head) but leaves the live accounting now. Its work
@@ -347,14 +434,14 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run func(context.
 			tn.q = tn.q[1:]
 		}
 		s.mu.Unlock()
-		return ctx.Err()
+		return CtxError(ctx)
 	case taskRunning:
 		// Abandon: the worker finishes the simulation but its result is
 		// discarded and the request counts as cancelled.
 		t.state = taskAbandoned
 		tn.stats.Cancelled++
 		s.mu.Unlock()
-		return ctx.Err()
+		return CtxError(ctx)
 	default:
 		// Completion raced the cancellation; the request was served.
 		s.mu.Unlock()
@@ -378,7 +465,7 @@ func (s *Scheduler) admitLocked(ctx context.Context, tenant string) (*tenant, er
 	case ctx.Err() != nil:
 		tn.stats.Submitted++
 		tn.stats.Cancelled++
-		return nil, ctx.Err()
+		return nil, CtxError(ctx)
 	case tn.depth >= tn.cfg.MaxQueue:
 		tn.stats.Submitted++
 		tn.stats.Rejected++
@@ -461,6 +548,22 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		tn := t.tn
+		// Deadline shedding: an entry whose context expired while it
+		// queued is turned away here, before any work runs — under
+		// saturation this is what keeps the pool from burning its cycles
+		// on requests whose callers have already given up. The terminal
+		// transition happens under the same lock hold as the pick, so the
+		// submitter (which may be racing its own ctx.Done) observes
+		// exactly one accounting.
+		if t.ctx != nil && t.ctx.Err() != nil {
+			t.state = taskShed
+			t.err = CtxError(t.ctx)
+			t.run = nil
+			t.ctx = nil
+			tn.stats.Cancelled++
+			close(t.done)
+			continue
+		}
 		now := time.Now()
 		t.state = taskRunning
 		t.started = now
@@ -473,7 +576,7 @@ func (s *Scheduler) worker() {
 		s.noteSaturationLocked(now)
 		s.mu.Unlock()
 
-		err := t.run(t.ctx)
+		err := s.runIsolated(t)
 
 		// end is captured before the lock wait so exec latency measures
 		// the work alone; saturation accounting gets a fresh timestamp
@@ -495,6 +598,26 @@ func (s *Scheduler) worker() {
 		}
 		close(t.done)
 	}
+}
+
+// runIsolated executes one task with panic isolation: a panicking
+// request resolves to a typed PanicError (carrying a sanitized stack)
+// instead of unwinding the worker goroutine and killing the process.
+// The worker itself, the pool it belongs to and every other in-flight
+// request are untouched — the failure blast radius is exactly one
+// request. The sched.dispatch failpoint lives inside the isolation
+// boundary, so injected dispatch panics exercise the same recovery.
+func (s *Scheduler) runIsolated(t *task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = &PanicError{Value: r, Stack: sanitizeStack(debug.Stack())}
+		}
+	}()
+	if err := faults.Inject("sched.dispatch"); err != nil {
+		return err
+	}
+	return t.run(t.ctx)
 }
 
 // noteSaturationLocked accumulates the time during which every worker
@@ -569,6 +692,10 @@ type PoolStats struct {
 type Stats struct {
 	Tenants map[string]TenantStats `json:"tenants"`
 	Pool    PoolStats              `json:"pool"`
+	// Panics counts worker panics recovered into typed PanicErrors.
+	// Panicked requests are Served+Failed in their tenant's ledger (they
+	// ran); this counter is the cross-tenant poison signal.
+	Panics int64 `json:"panics"`
 }
 
 // Stats snapshots the scheduler's accounting.
@@ -599,5 +726,6 @@ func (s *Scheduler) Stats() Stats {
 		st.Pool.Saturated += time.Since(s.satSince)
 		st.Pool.SaturatedNow = true
 	}
+	st.Panics = s.panics.Load()
 	return st
 }

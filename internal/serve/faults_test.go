@@ -1,0 +1,306 @@
+package serve
+
+// Fault-tolerance coverage of the HTTP layer: the PR-7 acceptance test
+// (a panic inside fabric execution indicts one request, not the
+// daemon), deadline shedding over the wire, handler panic recovery,
+// idempotent submit retry, the derived Retry-After hint, and the job
+// sweeper under a fake clock.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	wse "repro"
+
+	"repro/internal/faults"
+)
+
+// TestPanicDuringRunIsolated is the tentpole acceptance check: a panic
+// injected inside fabric execution of a served request leaves the
+// daemon up, answers that request — and only it — with a typed 500,
+// keeps scheduler accounting balanced, and a subsequent identical
+// request replays bit-identical to an unfaulted baseline.
+func TestPanicDuringRunIsolated(t *testing.T) {
+	defer faults.Reset()
+	s, ts := newTestServer(t, Config{})
+
+	// Unfaulted baseline for the bit-identity check.
+	resp, baseline := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline status %d: %s", resp.StatusCode, baseline)
+	}
+
+	faults.Set("fabric.exec", faults.Point{Mode: faults.ModePanic, Count: 1})
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted request status %d, want 500: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "panicked") {
+		t.Fatalf("500 body %q not the typed panic error", body)
+	}
+
+	// The daemon survives: the identical request is served bit-identical
+	// to the unfaulted baseline.
+	resp, after := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic status %d: %s", resp.StatusCode, after)
+	}
+	if string(after) != string(baseline) {
+		t.Fatalf("post-panic response diverged:\nbefore %s\nafter  %s", baseline, after)
+	}
+
+	st := s.cfg.Session.SchedStats()
+	if st.Panics != 1 {
+		t.Fatalf("SchedStats.Panics = %d, want 1", st.Panics)
+	}
+	for name, tn := range st.Tenants {
+		if tn.Submitted != tn.Served+tn.Rejected+tn.Cancelled {
+			t.Fatalf("tenant %q accounting leak: %+v", name, tn)
+		}
+	}
+
+	// The recovered panic is on /metrics.
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "wse_panics_total 1") {
+		t.Fatalf("metrics missing wse_panics_total 1")
+	}
+}
+
+// TestHandlerPanicRecovered: a panic at the HTTP layer itself (injected
+// serve.run failpoint) is recovered into a 500 and counted, and the
+// daemon keeps serving.
+func TestHandlerPanicRecovered(t *testing.T) {
+	defer faults.Reset()
+	_, ts := newTestServer(t, Config{})
+	faults.Set("serve.run", faults.Point{Mode: faults.ModePanic, Count: 1})
+
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "panicked") {
+		t.Fatalf("500 body %q not the typed panic error", body)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon did not survive handler panic: %d", resp.StatusCode)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "wse_http_panics_total 1") {
+		t.Fatal("metrics missing wse_http_panics_total 1")
+	}
+}
+
+// TestInjectedErrorIs500: an error-mode serve failpoint surfaces as a
+// plain 500 through the standard error path.
+func TestInjectedErrorIs500(t *testing.T) {
+	defer faults.Reset()
+	_, ts := newTestServer(t, Config{})
+	faults.Set("serve.predict", faults.Point{Count: 1})
+	resp, body := post(t, ts.URL+"/v1/predict", `{"shape":{"kind":"reduce1d","p":8,"b":4,"op":"sum"}}`, nil)
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(body), "injected") {
+		t.Fatalf("status %d body %s, want injected 500", resp.StatusCode, body)
+	}
+}
+
+// TestDeadlineShedIs504: a request whose client deadline expires while
+// it waits behind a busy worker is shed before execution and answered
+// 504, with the shed counted as cancelled.
+func TestDeadlineShedIs504(t *testing.T) {
+	defer faults.Reset()
+	session := wse.NewSession(wse.SessionConfig{Workers: 1})
+	s, ts := newTestServer(t, Config{Session: session})
+
+	// Occupy the single worker: latency failpoint holds the first
+	// request in fabric exec for 300ms.
+	faults.Set("fabric.exec", faults.Point{Mode: faults.ModeLatency, Delay: 300 * time.Millisecond, Count: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	}()
+	// Wait until the worker is actually occupied.
+	deadline := time.Now().Add(5 * time.Second)
+	for session.SchedStats().Pool.Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4),
+		map[string]string{deadlineHeader: "50"})
+	wg.Wait()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	st := s.cfg.Session.SchedStats()
+	var cancelled int64
+	for _, tn := range st.Tenants {
+		cancelled += tn.Cancelled
+	}
+	if cancelled != 1 {
+		t.Fatalf("shed request not counted cancelled: %+v", st.Tenants)
+	}
+}
+
+// TestServerRequestTimeout: the -request-timeout config bounds requests
+// that carry no client deadline header.
+func TestServerRequestTimeout(t *testing.T) {
+	defer faults.Reset()
+	session := wse.NewSession(wse.SessionConfig{Workers: 1})
+	_, ts := newTestServer(t, Config{Session: session, RequestTimeout: 50 * time.Millisecond})
+
+	faults.Set("fabric.exec", faults.Point{Mode: faults.ModeLatency, Delay: 300 * time.Millisecond, Count: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for session.SchedStats().Pool.Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate request never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	wg.Wait()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+// TestSubmitIdempotencyKey: resubmitting with the same key returns the
+// same job id without enqueuing duplicate work; a different key mints a
+// fresh job.
+func TestSubmitIdempotencyKey(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	hdr := map[string]string{idempotencyHeader: "retry-1"}
+
+	var ids [2]string
+	for i := range ids {
+		resp, body := post(t, ts.URL+"/v1/submit", runBody("reduce1d", 8, 4), hdr)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status %d: %s", i, resp.StatusCode, body)
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = sub.ID
+	}
+	if ids[0] != ids[1] {
+		t.Fatalf("same key minted distinct jobs %q, %q", ids[0], ids[1])
+	}
+	if n := s.jobs.len(); n != 1 {
+		t.Fatalf("%d jobs resident, want 1", n)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/submit", runBody("reduce1d", 8, 4),
+		map[string]string{idempotencyHeader: "retry-2"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == ids[0] {
+		t.Fatal("distinct key returned the old job id")
+	}
+
+	// Keys are tenant-scoped: another tenant reusing "retry-1" gets its
+	// own job.
+	resp, body = post(t, ts.URL+"/v1/submit", runBody("reduce1d", 8, 4),
+		map[string]string{idempotencyHeader: "retry-1", "X-WSE-Tenant": "other"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == ids[0] {
+		t.Fatal("idempotency key leaked across tenants")
+	}
+}
+
+// TestDeriveRetryAfter pins the 429 hint derivation: backlog/workers
+// rounds of the recent p50, clamped to [1s, 30s], fallback when the
+// pool has no latency signal yet.
+func TestDeriveRetryAfter(t *testing.T) {
+	sec := time.Second
+	cases := []struct {
+		depth, workers int
+		p50, floor     time.Duration
+		want           time.Duration
+	}{
+		{0, 4, 0, sec, sec},                                          // no signal → floor
+		{100, 4, 0, 5 * sec, 5 * sec},                                // no signal → configured floor
+		{0, 4, 100 * time.Millisecond, sec, sec},                     // clamp low
+		{40, 4, 2 * sec, sec, 22 * sec},                              // (40/4+1)*2s
+		{1000, 2, 10 * sec, sec, 30 * sec},                           // clamp high
+		{8, 0, 500 * time.Millisecond, sec, 4500 * time.Millisecond}, // workers floor 1
+	}
+	for i, c := range cases {
+		if got := deriveRetryAfter(c.depth, c.workers, c.p50, c.floor); got != c.want {
+			t.Errorf("case %d: deriveRetryAfter(%d, %d, %v, %v) = %v, want %v",
+				i, c.depth, c.workers, c.p50, c.floor, got, c.want)
+		}
+	}
+}
+
+// TestSweeperFakeClock drives the registry's sweep directly under a
+// fake clock: a completed, never-again-polled job is stamped by one
+// sweep and reclaimed — with its idempotency key — by a sweep past the
+// TTL.
+func TestSweeperFakeClock(t *testing.T) {
+	reg := newJobRegistry(time.Minute)
+	clock := time.Unix(1000, 0)
+	reg.now = func() time.Time { return clock }
+
+	fut := wse.NewSession(wse.SessionConfig{}).Submit(nil, wse.Shape{
+		Kind: wse.KindReduce, Alg: wse.Auto, P: 4, B: 4, Op: wse.Sum,
+	}, [][]float32{{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}})
+	if _, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	id := reg.add(fut, "tn", "key-1")
+
+	reg.sweep() // stamps doneAt
+	if _, ok := reg.get(id); !ok {
+		t.Fatal("job reclaimed before TTL")
+	}
+
+	clock = clock.Add(30 * time.Second)
+	reg.sweep()
+	if _, ok := reg.get(id); !ok {
+		t.Fatal("job reclaimed at half TTL")
+	}
+
+	clock = clock.Add(31 * time.Second) // past TTL since stamp
+	reg.sweep()
+	if _, ok := reg.get(id); ok {
+		t.Fatal("job survived a sweep past its TTL")
+	}
+	if _, ok := reg.byKey("tn", "key-1"); ok {
+		t.Fatal("idempotency key survived its job")
+	}
+
+	// The TTL clock starts at the first sweep that observes completion,
+	// not at submission: a long-completed job added now still gets its
+	// full TTL of pollability.
+	id2 := reg.add(fut, "tn", "")
+	clock = clock.Add(time.Hour)
+	reg.sweep() // first observation only stamps, even after an hour
+	if _, ok := reg.get(id2); !ok {
+		t.Fatal("job reclaimed on the sweep that first observed completion")
+	}
+}

@@ -5,8 +5,9 @@ package serve
 // submitting connection (the whole point of the tier — fire, disconnect,
 // poll later), so they run under context.Background and survive the
 // client going away. Completed jobs linger for JobTTL so a poller gets
-// at least one look at the result, then lazy GC — run on every submit
-// and poll — reaps them; there is no background goroutine to leak.
+// at least one look at the result; the Server's background sweeper then
+// reaps them on a timer, so jobs abandoned without ever being polled are
+// reclaimed too (the old lazy on-access GC leaked exactly those).
 
 import (
 	"fmt"
@@ -19,12 +20,14 @@ import (
 type job struct {
 	fut    *wse.Future
 	tenant string
-	doneAt time.Time // zero until a GC or poll first observes completion
+	key    string    // idempotency key ("" when the submit carried none)
+	doneAt time.Time // zero until a sweep or poll first observes completion
 }
 
 type jobRegistry struct {
 	mu   sync.Mutex
 	jobs map[string]*job
+	keys map[string]string // keyScope(tenant, key) → job id
 	seq  int64
 	ttl  time.Duration
 	now  func() time.Time // test hook
@@ -34,26 +37,56 @@ func newJobRegistry(ttl time.Duration) *jobRegistry {
 	if ttl <= 0 {
 		ttl = 5 * time.Minute
 	}
-	return &jobRegistry{jobs: make(map[string]*job), ttl: ttl, now: time.Now}
+	return &jobRegistry{
+		jobs: make(map[string]*job),
+		keys: make(map[string]string),
+		ttl:  ttl,
+		now:  time.Now,
+	}
 }
 
-// add registers a future and returns its job id.
-func (r *jobRegistry) add(fut *wse.Future, tenant string) string {
+// keyScope namespaces idempotency keys per tenant, so two tenants using
+// the same key never collide.
+func keyScope(tenant, key string) string { return tenant + "\x00" + key }
+
+// add registers a future and returns its job id. A non-empty key
+// registers the job for idempotent resubmission lookup (byKey). If the
+// key is already taken — a retry raced another retry past byKey — the
+// existing job wins and its id is returned; the freshly submitted
+// duplicate future is left to complete unobserved, which is safe
+// (replays are deterministic) if mildly wasteful on a rare race.
+func (r *jobRegistry) add(fut *wse.Future, tenant, key string) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.gcLocked()
+	if key != "" {
+		if id, ok := r.keys[keyScope(tenant, key)]; ok {
+			return id
+		}
+	}
 	r.seq++
 	id := fmt.Sprintf("j%d", r.seq)
-	r.jobs[id] = &job{fut: fut, tenant: tenant}
+	r.jobs[id] = &job{fut: fut, tenant: tenant, key: key}
+	if key != "" {
+		r.keys[keyScope(tenant, key)] = id
+	}
 	return id
 }
 
-// get returns the job for id, running a GC pass first — so a job polled
-// after its post-completion TTL is already gone.
+// byKey returns the registered job id for a tenant's idempotency key.
+func (r *jobRegistry) byKey(tenant, key string) (string, bool) {
+	if key == "" {
+		return "", false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.keys[keyScope(tenant, key)]
+	return id, ok
+}
+
+// get returns the job for id.
 func (r *jobRegistry) get(id string) (*job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.gcLocked()
 	j, ok := r.jobs[id]
 	return j, ok
 }
@@ -65,9 +98,13 @@ func (r *jobRegistry) len() int {
 	return len(r.jobs)
 }
 
-// gcLocked stamps newly completed jobs and deletes the ones whose stamp
-// has aged past the TTL. Caller holds r.mu.
-func (r *jobRegistry) gcLocked() {
+// sweep stamps newly completed jobs and deletes the ones whose stamp has
+// aged past the TTL, along with their idempotency keys. The Server's
+// sweeper goroutine drives it; tests drive it directly with a fake
+// clock.
+func (r *jobRegistry) sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.now()
 	for id, j := range r.jobs {
 		select {
@@ -76,6 +113,9 @@ func (r *jobRegistry) gcLocked() {
 				j.doneAt = now
 			} else if now.Sub(j.doneAt) > r.ttl {
 				delete(r.jobs, id)
+				if j.key != "" {
+					delete(r.keys, keyScope(j.tenant, j.key))
+				}
 			}
 		default:
 		}

@@ -99,6 +99,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	emit("wse_tenant_queue_wait_seconds", "gauge", waits...)
 
+	emit("wse_panics_total", "counter", c("wse_panics_total", sched.Panics))
+	emit("wse_http_panics_total", "counter", c("wse_http_panics_total", s.httpPanics.Load()))
+
 	emit("wse_pool_workers", "gauge", c("wse_pool_workers", int64(sched.Pool.Workers)))
 	emit("wse_pool_running", "gauge", c("wse_pool_running", int64(sched.Pool.Running)))
 	emit("wse_pool_queue_depth", "gauge", c("wse_pool_queue_depth", int64(sched.Pool.Depth)))

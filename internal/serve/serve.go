@@ -37,6 +37,8 @@ import (
 	"time"
 
 	wse "repro"
+
+	"repro/internal/faults"
 )
 
 // Config assembles a Server. Session is required; everything else has a
@@ -54,8 +56,16 @@ type Config struct {
 	DefaultTenant wse.TenantConfig
 	// Tenants pre-registers named tenants with explicit QoS configs.
 	Tenants []TenantSpec
-	// RetryAfter is the hint attached to 429 responses (default 1s).
+	// RetryAfter is the floor (and no-signal fallback) of the 429
+	// Retry-After hint (default 1s). The hint itself is derived per
+	// response from live scheduler load; see retryAfter.
 	RetryAfter time.Duration
+	// RequestTimeout bounds every synchronous API request server-side
+	// (0 = unbounded): the request's context carries the deadline, so an
+	// expired request is shed from the scheduler queue — or aborted
+	// mid-simulation by the fabric watchdog — and answered 504. Clients
+	// can only tighten it, per request, with an X-WSE-Deadline-Ms header.
+	RequestTimeout time.Duration
 	// JobTTL bounds how long a completed async job stays pollable
 	// (default 5m).
 	JobTTL time.Duration
@@ -72,8 +82,17 @@ type Server struct {
 	jobs *jobRegistry
 	http httpStats
 
+	// httpPanics counts panics recovered in the HTTP middleware (handler
+	// bugs, injected serve.* panic failpoints) — the layer above the
+	// scheduler's own Stats().Panics.
+	httpPanics atomic.Int64
+
 	draining atomic.Bool
 	drainMu  sync.RWMutex // held shared by in-flight requests, exclusively by Drain
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+	sweepOnce sync.Once
 
 	mu      sync.Mutex
 	tenants map[string]*wse.Tenant
@@ -89,14 +108,17 @@ func New(cfg Config) *Server {
 		cfg.MaxBody = 64 << 20
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		jobs:    newJobRegistry(cfg.JobTTL),
-		tenants: make(map[string]*wse.Tenant),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		jobs:      newJobRegistry(cfg.JobTTL),
+		tenants:   make(map[string]*wse.Tenant),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	for _, ts := range cfg.Tenants {
 		s.tenants[ts.Name] = cfg.Session.WithTenant(ts.Name, ts.Cfg)
 	}
+	go s.sweeper()
 	s.mux.HandleFunc("POST /v1/run", s.api("run", s.handleRun))
 	s.mux.HandleFunc("POST /v1/predict", s.api("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/bound", s.api("bound", s.handleBound))
@@ -118,23 +140,98 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // running. Idempotent.
 func (s *Server) StartDrain() { s.draining.Store(true) }
 
-// Drain is the full graceful stop: stop admission, wait for every
-// in-flight request, then close the session (draining its queues and
-// worker pool). After Drain the Server only answers /healthz (503) and
-// /metrics.
+// Drain is the full graceful stop: stop admission and the job sweeper,
+// wait for every in-flight request, then close the session (draining its
+// queues and worker pool). After Drain the Server only answers /healthz
+// (503) and /metrics.
 func (s *Server) Drain() error {
 	s.StartDrain()
+	s.stopSweeper()
 	s.drainMu.Lock() // barrier: every in-flight request holds an RLock
 	s.drainMu.Unlock()
 	return s.cfg.Session.Close()
 }
 
+// sweeper is the job registry's background GC: abandoned submit jobs
+// are reclaimed on a timer even if /v1/jobs is never polled again. It
+// runs from New until Drain (or stopSweeper).
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(sweepInterval(s.jobs.ttl))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-t.C:
+			s.jobs.sweep()
+		}
+	}
+}
+
+// sweepInterval picks the sweeper period: a quarter TTL bounds a job's
+// post-TTL overstay at ~25%, clamped so tiny test TTLs don't spin and
+// huge TTLs still sweep often enough to see a drain promptly.
+func sweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 4
+	if iv < 50*time.Millisecond {
+		iv = 50 * time.Millisecond
+	}
+	if iv > 30*time.Second {
+		iv = 30 * time.Second
+	}
+	return iv
+}
+
+// stopSweeper halts the background job GC and waits for it to exit.
+// Idempotent; Drain calls it.
+func (s *Server) stopSweeper() {
+	s.sweepOnce.Do(func() { close(s.stopSweep) })
+	<-s.sweepDone
+}
+
+// deadlineHeader is the client's per-request deadline budget in
+// milliseconds. It can only tighten the server's RequestTimeout, never
+// extend it.
+const deadlineHeader = "X-WSE-Deadline-Ms"
+
+// requestTimeout resolves one request's effective deadline budget:
+// the tighter of the server-wide RequestTimeout and the client's
+// X-WSE-Deadline-Ms header (malformed or non-positive headers are
+// ignored). Zero means unbounded.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	d := s.cfg.RequestTimeout
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if hd := time.Duration(ms) * time.Millisecond; d <= 0 || hd < d {
+				d = hd
+			}
+		}
+	}
+	return d
+}
+
 // api wraps an endpoint handler with the serving middleware: drain
-// gating, in-flight accounting and per-endpoint status metrics.
+// gating, in-flight accounting, per-endpoint status metrics and
+// failpoints, the per-request deadline, and panic isolation — a handler
+// panic (or an injected serve.<endpoint> panic) is recovered into a
+// typed 500 instead of crashing the daemon's connection goroutine.
 func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() { s.http.record(endpoint, sw.code()) }()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.httpPanics.Add(1)
+				// Only answer if the handler hadn't already written: a
+				// panic after a partial response can't be un-sent, and a
+				// second WriteHeader would just add log noise.
+				if sw.wrote == 0 {
+					s.writeError(sw, http.StatusInternalServerError,
+						fmt.Sprintf("%v: handler panicked: %v", wse.ErrInternal, rec))
+				}
+			}
+		}()
 		if s.draining.Load() {
 			s.writeError(sw, http.StatusServiceUnavailable, "draining")
 			return
@@ -144,6 +241,15 @@ func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request)
 		if s.draining.Load() { // drain began between the check and the lock
 			s.writeError(sw, http.StatusServiceUnavailable, "draining")
 			return
+		}
+		if err := faults.Inject("serve." + endpoint); err != nil {
+			s.writeError(sw, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if d := s.requestTimeout(r); d > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
 		}
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBody)
 		h(sw, r)
@@ -229,20 +335,62 @@ type errorResponse struct {
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests {
-		secs := int64(math.Ceil(s.cfg.RetryAfter.Seconds()))
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
 	}
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(errorResponse{Error: msg})
 }
 
+// retryAfterSecs derives the 429 Retry-After hint from live load: the
+// queue's expected drain time under current depth and recent execution
+// p50. With no latency signal yet it falls back to cfg.RetryAfter.
+func (s *Server) retryAfterSecs() int64 {
+	st := s.cfg.Session.SchedStats()
+	var p50 time.Duration
+	for _, t := range st.Tenants {
+		if t.ExecP50 > p50 {
+			p50 = t.ExecP50
+		}
+	}
+	d := deriveRetryAfter(st.Pool.Depth, st.Pool.Workers, p50, s.cfg.RetryAfter)
+	return int64(math.Ceil(d.Seconds()))
+}
+
+// deriveRetryAfter estimates when an overloaded tenant should come back:
+// the current backlog takes ~depth/workers serial rounds of the recent
+// p50 to drain, plus one round for the retry itself. The estimate is
+// clamped to [max(1s, floor), 30s] — a hint, not a promise, so it errs
+// toward the polite side on both ends. With no p50 signal (an idle or
+// freshly started pool) it returns the clamped floor.
+func deriveRetryAfter(depth, workers int, p50, floor time.Duration) time.Duration {
+	lo := floor
+	if lo < time.Second {
+		lo = time.Second
+	}
+	const hi = 30 * time.Second
+	if p50 <= 0 {
+		return lo
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := time.Duration(depth/workers+1) * p50
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
 // errorCode maps the wse error taxonomy onto HTTP statuses. The typed
 // errors carry the contract: overload is the backpressure signal a
 // client should retry after a delay, a bad shape will never succeed, a
-// closed session means the process is going away.
+// closed session means the process is going away, a blown deadline is
+// the gateway-timeout the client itself asked for, and a recovered
+// panic (ErrInternal) — like any unclassified failure — is a 500 that
+// indicts only its own request.
 func errorCode(err error) int {
 	switch {
 	case errors.Is(err, wse.ErrBadShape):
@@ -251,8 +399,11 @@ func errorCode(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, wse.ErrSessionClosed), errors.Is(err, wse.ErrTenantRemoved):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, wse.ErrDeadline),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, wse.ErrInternal):
+		return http.StatusInternalServerError
 	}
 	return http.StatusInternalServerError
 }
@@ -330,6 +481,13 @@ type submitResponse struct {
 	URL string `json:"status_url"`
 }
 
+// idempotencyHeader carries a client-generated key that makes submit
+// safe to retry: a resubmission bearing the key of a still-registered
+// job gets that job's id back instead of enqueuing duplicate work. Keys
+// are scoped per tenant and live exactly as long as their job (TTL after
+// completion), which is the retry window the async tier promises.
+const idempotencyHeader = "X-WSE-Idempotency-Key"
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
 	if !s.decode(w, r, &req) {
@@ -341,6 +499,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := tenantName(r)
+	key := r.Header.Get(idempotencyHeader)
+	if id, ok := s.jobs.byKey(name, key); ok {
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: id, URL: "/v1/jobs/" + id})
+		return
+	}
 	// Jobs are detached from the submitting connection: Background, not
 	// r.Context(), or closing the HTTP client would cancel the work the
 	// async tier exists to decouple.
@@ -356,7 +519,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 	}
-	id := s.jobs.add(fut, name)
+	id := s.jobs.add(fut, name, key)
 	writeJSON(w, http.StatusAccepted, submitResponse{ID: id, URL: "/v1/jobs/" + id})
 }
 

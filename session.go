@@ -100,6 +100,18 @@ var ErrSessionClosed = sched.ErrClosed
 // Session.RemoveTenant deleted their tenant.
 var ErrTenantRemoved = sched.ErrTenantRemoved
 
+// ErrInternal is returned when a request panicked inside a worker. The
+// panic is recovered — the session, its worker pool and every other
+// in-flight request are unaffected — and the error (a *sched.PanicError
+// under errors.As) carries a sanitized stack of the panic site.
+var ErrInternal = sched.ErrPanic
+
+// ErrDeadline is returned when a request's context deadline expires —
+// while queued (the request is shed before ever executing) or mid-replay
+// (the fabric watchdog aborts the simulation). It matches both this
+// sentinel and context.DeadlineExceeded under errors.Is.
+var ErrDeadline = sched.ErrDeadline
+
 // DefaultSessionMaxCycles is the per-run cycle cap a Session applies when
 // its Options leave MaxCycles at zero. The bare simulator defaults to
 // 2^34 cycles — days of wall-clock for a large sharded run gone wrong —
