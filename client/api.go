@@ -10,9 +10,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 )
@@ -158,6 +160,52 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*
 	}
 }
 
+// PlanBlob fetches the encoded plan blob for a canonical key string
+// from the daemon's GET /v1/plans/{key} endpoint. A daemon that does
+// not hold the plan answers 404, which comes back as ok=false with no
+// error — a miss, not a failure — so resolver chains can distinguish
+// "peer is healthy but cold" from "peer is down". Retryable: a blob
+// read is a pure lookup.
+func (c *Client) PlanBlob(ctx context.Context, key string) ([]byte, bool, error) {
+	var blob []byte
+	err := c.do(ctx, "GET", "/v1/plans/"+url.PathEscape(key), nil, nil, true, &blob)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return blob, true, nil
+}
+
+// WarmResult reports what a remote warm did: how many shapes were
+// freshly materialised into the daemon's cache, how many were already
+// resident, and per-shape errors for the ones that failed.
+type WarmResult struct {
+	Warmed   int      `json:"warmed"`
+	Resident int      `json:"resident"`
+	Failed   int      `json:"failed"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+type warmRequest struct {
+	Shapes []Shape `json:"shapes"`
+}
+
+// Warm asks the daemon to pre-materialise plans for the given shapes
+// through its resolver chain (POST /v1/warm), so a fleet can be
+// pre-heated over the wire without filesystem access to its plan store.
+// Retryable: warming is idempotent — an already-resident plan is a
+// no-op.
+func (c *Client) Warm(ctx context.Context, shapes []Shape) (*WarmResult, error) {
+	var res WarmResult
+	if err := c.do(ctx, "POST", "/v1/warm", warmRequest{Shapes: shapes}, nil, true, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
 // Healthy reports whether the daemon answers /healthz with 200. One
 // attempt, no retries — health checks are themselves the probe.
 func (c *Client) Healthy(ctx context.Context) bool {
@@ -284,6 +332,12 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 		return ae
 	}
 	if out != nil {
+		// A *[]byte sink takes the body verbatim — the plan-blob endpoint
+		// serves a binary codec frame, not JSON.
+		if raw, ok := out.(*[]byte); ok {
+			*raw = data
+			return nil
+		}
 		if err := json.Unmarshal(data, out); err != nil {
 			return fmt.Errorf("client: decode response: %w", err)
 		}

@@ -1,0 +1,146 @@
+package client
+
+// Tests of the fleet-facing API surface: raw plan-blob fetches (the
+// resolver chain's peer stage) and remote cache warming.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+func newMuxClient(t *testing.T, mux *http.ServeMux, cfg Config) *Client {
+	t.Helper()
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	cfg.BaseURL = srv.URL
+	c := New(cfg)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = fc.now
+	c.sleep = fc.sleep
+	c.rng = rand.New(rand.NewSource(1))
+	return c
+}
+
+func TestPlanBlobRawBytes(t *testing.T) {
+	blob := []byte{0x00, 0x01, 0xff, 0xfe, '{', 'n', 'o', 't', 'j', 's', 'o', 'n'}
+	const key = "k1;reduce1d;alg=auto;p=8"
+	var gotPath string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.PathValue("key")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(blob)
+	})
+	c := newMuxClient(t, mux, Config{})
+
+	got, ok, err := c.PlanBlob(context.Background(), key)
+	if err != nil || !ok {
+		t.Fatalf("PlanBlob = ok=%v, %v", ok, err)
+	}
+	// The blob must arrive byte-exact — no JSON decode attempt — and the
+	// key must survive path escaping (it contains ';' and '=').
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("blob mangled: got %x want %x", got, blob)
+	}
+	if gotPath != key {
+		t.Fatalf("server saw key %q, want %q", gotPath, key)
+	}
+}
+
+func TestPlanBlobNotFoundIsCleanMiss(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":{"code":"not_found","message":"no such plan"}}`)
+	})
+	c := newMuxClient(t, mux, Config{})
+	blob, ok, err := c.PlanBlob(context.Background(), "k1;whatever")
+	if err != nil {
+		t.Fatalf("404 should be a miss, not an error: %v", err)
+	}
+	if ok || blob != nil {
+		t.Fatalf("PlanBlob on 404 = %v, ok=%v; want nil, false", blob, ok)
+	}
+}
+
+func TestPlanBlobRetriesTransient(t *testing.T) {
+	var hits int
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("blob"))
+	})
+	c := newMuxClient(t, mux, Config{MaxAttempts: 3})
+	got, ok, err := c.PlanBlob(context.Background(), "k1;x")
+	if err != nil || !ok || string(got) != "blob" {
+		t.Fatalf("PlanBlob after transient 500 = %q, ok=%v, %v", got, ok, err)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want the blob fetch retried as idempotent", hits)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	var gotBody warmRequest
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/warm", func(w http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&gotBody); err != nil {
+			t.Errorf("bad warm body: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"warmed":2,"resident":1,"failed":1,"errors":["shape 3: bad shape"]}`)
+	})
+	c := newMuxClient(t, mux, Config{})
+
+	shapes := []Shape{
+		{Kind: "reduce1d", Alg: "chain", P: 8, B: 4},
+		{Kind: "allreduce2d", Alg2D: "xy-tree", Width: 4, Height: 2, B: 8, Op: "max"},
+	}
+	res, err := c.Warm(context.Background(), shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmed != 2 || res.Resident != 1 || res.Failed != 1 || len(res.Errors) != 1 {
+		t.Fatalf("WarmResult = %+v", res)
+	}
+	if len(gotBody.Shapes) != 2 || gotBody.Shapes[0].Kind != "reduce1d" || gotBody.Shapes[1].Op != "max" {
+		t.Fatalf("server saw shapes %+v", gotBody.Shapes)
+	}
+}
+
+func TestPlanBlobKeyEscaping(t *testing.T) {
+	// A key containing a path-hostile character must round-trip. Go's
+	// mux unescapes PathValue, so the raw request path carries the
+	// escaped form and the handler still sees the original.
+	const key = "k1;odd/slash key"
+	var rawPath, pathVal string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		rawPath = r.URL.EscapedPath()
+		pathVal = r.PathValue("key")
+		w.Write([]byte("ok"))
+	})
+	c := newMuxClient(t, mux, Config{})
+	if _, ok, err := c.PlanBlob(context.Background(), key); err != nil || !ok {
+		t.Fatalf("PlanBlob = ok=%v, %v", ok, err)
+	}
+	if pathVal != key {
+		t.Fatalf("handler saw %q, want %q", pathVal, key)
+	}
+	if want := "/v1/plans/" + url.PathEscape(key); rawPath != want {
+		t.Fatalf("wire path %q, want %q", rawPath, want)
+	}
+}

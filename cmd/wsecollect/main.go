@@ -10,6 +10,10 @@
 //
 //	wsecollect export -store DIR [shape flags]   compile the shape into DIR
 //	wsecollect warm   -store DIR                 preload every stored plan
+//	wsecollect warm   -url URL [-store DIR]      warm a remote daemon over the
+//	    wire (POST /v1/warm): the daemon resolves each shape through its own
+//	    chain; -store sends the local store's whole key inventory, the shape
+//	    flags send one shape
 //	wsecollect [run]  -store DIR [shape flags]   serve with read/write-through
 //	wsecollect serve  -tenants SPEC [shape flags]
 //	    replay a mixed multi-tenant workload through the QoS scheduler and
@@ -55,6 +59,7 @@ import (
 	"time"
 
 	wse "repro"
+	"repro/client"
 	"repro/internal/core"
 )
 
@@ -314,10 +319,16 @@ func exportCmd(c *config) error {
 
 // warmCmd decodes every stored plan into a fresh session's cache — what a
 // serving process does before taking traffic — and reports the decode
-// throughput and the resulting cache population.
+// throughput and the resulting cache population. With an explicit -url
+// it instead warms a *remote* daemon over the wire (POST /v1/warm): the
+// daemon resolves each shape through its own chain, so fleets are
+// pre-heated without filesystem access to their stores.
 func warmCmd(c *config) error {
+	if c.set["url"] {
+		return remoteWarmCmd(c)
+	}
 	if c.store == "" {
-		return fmt.Errorf("warm requires -store DIR")
+		return fmt.Errorf("warm requires -store DIR (or -url URL for remote warming)")
 	}
 	store, err := wse.OpenPlanStore(c.store)
 	if err != nil {
@@ -340,6 +351,61 @@ func warmCmd(c *config) error {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Println("  ", n)
+	}
+	return nil
+}
+
+// remoteWarmCmd warms a running daemon's plan cache over the wire. The
+// shape list is the local -store's full key inventory when -store is
+// given (pre-heat a fleet member from a staging store's catalogue,
+// without the daemon ever reading that store), else the single shape
+// the flags spell.
+func remoteWarmCmd(c *config) error {
+	var shapes []client.Shape
+	if c.store != "" {
+		store, err := wse.OpenPlanStore(c.store)
+		if err != nil {
+			return err
+		}
+		for _, k := range store.Keys() {
+			shapes = append(shapes, client.Shape{
+				Kind:   string(k.Kind),
+				Alg:    string(k.Alg),
+				Alg2D:  string(k.Alg2D),
+				P:      k.P,
+				Width:  k.Width,
+				Height: k.Height,
+				B:      k.B,
+				Op:     k.Op.String(),
+			})
+		}
+		if len(shapes) == 0 {
+			return fmt.Errorf("store %s holds no plans to warm from", c.store)
+		}
+	} else {
+		sh, err := c.shape()
+		if err != nil {
+			return err
+		}
+		shapes = append(shapes, client.Shape{
+			Kind: string(sh.Kind), Alg: string(sh.Alg), Alg2D: string(sh.Alg2D),
+			P: sh.P, Width: sh.Width, Height: sh.Height, B: sh.B,
+			Op: strings.ToLower(c.opName),
+		})
+	}
+	cl := client.New(client.Config{BaseURL: c.url})
+	start := time.Now()
+	res, err := cl.Warm(context.Background(), shapes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remotely warmed %s in %v: %d fetched/compiled, %d already resident, %d failed\n",
+		c.url, time.Since(start).Round(time.Millisecond), res.Warmed, res.Resident, res.Failed)
+	for _, e := range res.Errors {
+		fmt.Fprintln(os.Stderr, "wsecollect: warm:", e)
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d shapes failed to warm", res.Failed)
 	}
 	return nil
 }

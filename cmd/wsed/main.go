@@ -10,6 +10,18 @@
 //	     -tenants "fg:interactive:4:64,bulk:batch:1" \
 //	     -default-tenant batch:1:32
 //
+// Fleet mode: workers given -peers resolve plan-cache misses through a
+// composed chain — shared store, then peer blob fetch (GET
+// /v1/plans/{key} against each peer, raced when there are several),
+// then compile with write-back — so a fleet compiles each distinct
+// shape once, ever. A thin router runs with -mode front -peers ...: it
+// owns no session and consistent-hashes each request's canonical plan
+// key across the workers, keeping every worker's LRU hot on its own
+// key slice, with ring-successor failover when a worker dies.
+//
+//	wsed -addr :8081 -store /srv/plans -peers http://w0:8080   # worker
+//	wsed -addr :8080 -mode front -peers http://w0:8081,http://w1:8082
+//
 // See internal/serve for the endpoint and wire-format reference, and
 // `wsecollect load` for the matching load generator.
 package main
@@ -29,7 +41,9 @@ import (
 	"time"
 
 	wse "repro"
+	"repro/client"
 	"repro/internal/faults"
+	"repro/internal/resolve"
 	"repro/internal/serve"
 )
 
@@ -50,6 +64,9 @@ func realMain() int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "cap on the SIGTERM graceful drain")
 	maxCycles := fs.Int64("maxcycles", 0, "per-run simulated-cycle cap (0 = session default of 2^28)")
 	shards := fs.Int("shards", 0, "row-band shards per fabric simulation (0 = auto-tune from GOMAXPROCS)")
+	mode := fs.String("mode", "serve", "serve (worker daemon) or front (consistent-hash router over -peers)")
+	peers := fs.String("peers", "", "comma-separated peer wsed base URLs (worker: resolve plans from them; front: route across them)")
+	verifyStore := fs.Bool("verify-store", false, "run the plan store corruption sweep at startup, quarantining bad blobs (requires -store)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -57,6 +74,15 @@ func realMain() int {
 		return 2
 	}
 	logger := log.New(os.Stderr, "wsed: ", log.LstdFlags)
+	peerList := splitPeers(*peers)
+
+	if *mode == "front" {
+		return runFront(logger, *addr, peerList, wse.Options{MaxCycles: *maxCycles, Shards: *shards}, *drainTimeout)
+	}
+	if *mode != "serve" {
+		logger.Printf("bad -mode %q (serve, front)", *mode)
+		return 2
+	}
 
 	defCfg, err := parseTenantConfig(*defTenant)
 	if err != nil {
@@ -83,6 +109,54 @@ func realMain() int {
 		}
 		cfg.Store = store
 	}
+	if *verifyStore {
+		if store == nil {
+			logger.Println("-verify-store requires -store DIR")
+			return 2
+		}
+		ok, quarantined, err := store.Verify()
+		if err != nil {
+			logger.Println("verify-store (continuing):", err)
+		}
+		for _, q := range quarantined {
+			logger.Printf("verify-store: quarantined corrupt blob %s", q)
+		}
+		logger.Printf("verify-store: %d plans intact, %d quarantined", ok, len(quarantined))
+	}
+	// A worker with a store or peers resolves misses through a composed
+	// chain instead of the cache's built-in store→compile path: store
+	// and peers are optional stages (their failures degrade to the next
+	// stage, never a 5xx), compile is the mandatory last resort, and
+	// write-back pushes fetched/compiled plans into the store so the
+	// fleet converges to zero recompiles.
+	var chain resolve.Resolver
+	if store != nil || len(peerList) > 0 {
+		var stages []resolve.Resolver
+		if store != nil {
+			stages = append(stages, resolve.Optional(resolve.Store(store)))
+		}
+		if len(peerList) > 0 {
+			peerStages := make([]resolve.Resolver, len(peerList))
+			for i, u := range peerList {
+				peerStages[i] = resolve.Peer(u, client.Config{})
+			}
+			peerStage := peerStages[0]
+			if len(peerStages) > 1 {
+				peerStage = resolve.Parallel(peerStages...)
+			}
+			if store != nil {
+				peerStage = resolve.WriteBack(peerStage, store)
+			}
+			stages = append(stages, resolve.Optional(peerStage))
+		}
+		comp := resolve.Compiler()
+		if store != nil {
+			comp = resolve.WriteBack(comp, store)
+		}
+		stages = append(stages, comp)
+		chain = resolve.Sequential(stages...)
+		cfg.Resolver = chain
+	}
 	sess := wse.NewSession(cfg)
 	if *warm {
 		if store == nil {
@@ -99,6 +173,7 @@ func realMain() int {
 	srv := serve.New(serve.Config{
 		Session:        sess,
 		Store:          store,
+		Resolver:       chain,
 		DefaultTenant:  defCfg,
 		Tenants:        specs,
 		RetryAfter:     *retryAfter,
@@ -134,13 +209,59 @@ func realMain() int {
 	if armed := faults.Active(); len(armed) > 0 {
 		logger.Printf("FAILPOINTS ARMED (chaos drill): %s", strings.Join(armed, "; "))
 	}
-	logger.Printf("listening on %s (%d pre-registered tenants, store=%q)", *addr, len(specs), *storeDir)
+	logger.Printf("listening on %s (%d pre-registered tenants, store=%q, peers=%d)", *addr, len(specs), *storeDir, len(peerList))
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Println(err)
 		return 1
 	}
 	<-done // ListenAndServe returns as soon as Shutdown starts; let it finish
 	return 0
+}
+
+// runFront serves -mode front: a sessionless consistent-hash router
+// over the worker list. SIGTERM stops the listener after in-flight
+// forwards complete; there is no session to drain.
+func runFront(logger *log.Logger, addr string, workers []string, opt wse.Options, drainTimeout time.Duration) int {
+	if len(workers) == 0 {
+		logger.Println("-mode front requires -peers URL[,URL...]")
+		return 2
+	}
+	front := serve.NewFront(serve.FrontConfig{Workers: workers, Options: opt})
+	httpSrv := &http.Server{Addr: addr, Handler: front.Handler()}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigs
+		logger.Printf("%v: stopping front", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Println("shutdown:", err)
+		}
+	}()
+	logger.Printf("front listening on %s, routing across %d workers: %s", addr, len(workers), strings.Join(workers, ", "))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Println(err)
+		return 1
+	}
+	<-done
+	return 0
+}
+
+// splitPeers parses the -peers list, trimming blanks and trailing
+// slashes so ring members and client base URLs compare equal.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseTenantConfig parses class:weight[:maxqueue] — a -tenants entry

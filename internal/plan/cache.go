@@ -2,6 +2,7 @@ package plan
 
 import (
 	"container/list"
+	"context"
 	"log"
 	"sync"
 )
@@ -48,6 +49,15 @@ type PlanStore interface {
 	Keys() []Key
 }
 
+// Resolver materialises the plan for a key: the pluggable miss path of a
+// cache (and therefore a Session). The concrete implementation is a
+// composable stage chain in internal/resolve — local store, remote peer,
+// compile-as-last-resort — but the plan subsystem only sees this one
+// method, so it stays free of the network and persistence dependencies.
+type Resolver interface {
+	Resolve(ctx context.Context, key Key) (*Plan, error)
+}
+
 // Cache is a content-keyed LRU of compiled plans. Lookups for the same
 // key that race an in-flight compile coalesce onto it (and count as hits)
 // instead of compiling twice. With a store attached (SetStore), misses
@@ -61,6 +71,7 @@ type Cache struct {
 	lru       list.List // front = most recently used; values are *Plan
 	compiling map[Key]*inflight
 	store     PlanStore
+	resolver  Resolver
 	stats     CacheStats
 	// storeErrLogged dedupes the store-failure log line: one warning per
 	// attached store, not one per degraded request. SetStore resets it, so
@@ -96,11 +107,42 @@ func (c *Cache) SetStore(ps PlanStore) {
 	c.mu.Unlock()
 }
 
+// SetResolver attaches (or, with nil, detaches) a resolver chain as the
+// cache's miss path, replacing the built-in store-load → compile →
+// write-through fill. The chain owns its own store/peer/compile policy
+// and stats; with a resolver attached, the cache's StoreHits/StoreErrors
+// counters stay flat (the equivalent accounting lives per stage in the
+// chain). Call before taking traffic, or concurrently — attachment is
+// atomic with respect to lookups.
+func (c *Cache) SetResolver(r Resolver) {
+	c.mu.Lock()
+	c.resolver = r
+	c.mu.Unlock()
+}
+
 // Get returns the plan for req, loading it from the attached store or
 // compiling it on a miss.
 func (c *Cache) Get(req Request) (*Plan, error) {
+	return c.GetCtx(context.Background(), req)
+}
+
+// GetCtx is Get with the caller's context threaded into the miss path,
+// where a resolver chain's remote stages honour its deadline. Lookups
+// that coalesce onto an in-flight miss share the first caller's fill
+// (and its context), exactly as they share its compile.
+func (c *Cache) GetCtx(ctx context.Context, req Request) (*Plan, error) {
 	key := KeyOf(req)
-	p, _, err := c.acquire(key, true, func() (*Plan, error) {
+	p, _, err := c.acquire(key, true, c.fill(ctx, key, req))
+	return p, err
+}
+
+// fill builds the miss path for key: the attached resolver chain when
+// one is set, else the legacy store-load → compile → write-through.
+func (c *Cache) fill(ctx context.Context, key Key, req Request) func() (*Plan, error) {
+	if r := c.resolverHandle(); r != nil {
+		return func() (*Plan, error) { return r.Resolve(ctx, key) }
+	}
+	return func() (*Plan, error) {
 		ps := c.storeHandle()
 		if ps != nil {
 			switch p, ok, err := ps.Load(key); {
@@ -118,8 +160,7 @@ func (c *Cache) Get(req Request) (*Plan, error) {
 			}
 		}
 		return p, err
-	})
-	return p, err
+	}
 }
 
 // acquire returns the plan for key: residents are served directly,
@@ -170,6 +211,28 @@ func (c *Cache) storeHandle() PlanStore {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.store
+}
+
+func (c *Cache) resolverHandle() Resolver {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resolver
+}
+
+// Lookup returns the resident plan for key, refreshing its recency,
+// without counting a hit or miss and without triggering any fill. This
+// is the memory stage of a resolver chain: the chain consults residency
+// here and owns its own per-stage accounting, so a chain-driven lookup
+// must not double-count against the cache's serving stats.
+func (c *Cache) Lookup(key Key) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*Plan), true
 }
 
 // Peek reports whether a plan for req is resident, without compiling or

@@ -3,7 +3,9 @@ package plan
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/fabric"
 )
 
@@ -24,6 +26,78 @@ func (k Key) String() string {
 		k.Opt.TR, k.Opt.QueueCap, k.Opt.MaxCycles, k.Opt.ClockSkewMax,
 		strconv.FormatFloat(k.Opt.ThermalNoopRate, 'x', -1, 64),
 		k.Opt.TaskActivation, k.Opt.Seed, k.Opt.Shards)
+}
+
+// ParseKey is the inverse of Key.String: it parses the pinned textual
+// form back into a Key. This is what lets a plan be addressed over the
+// wire — a peer daemon receives the key string on its blob endpoint and
+// looks the plan up without ever seeing the originating request. Only
+// the current KeyEncodingVersion parses; a version-mismatched key is an
+// error, exactly as a version-mismatched blob is.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	fields := strings.Split(s, ";")
+	if len(fields) != 17 {
+		return k, fmt.Errorf("plan: bad key %q: want 17 fields, got %d", s, len(fields))
+	}
+	if fields[0] != fmt.Sprintf("k%d", KeyEncodingVersion) {
+		return k, fmt.Errorf("plan: key %q has version tag %q, this build speaks k%d", s, fields[0], KeyEncodingVersion)
+	}
+	k.Kind = Kind(fields[1])
+	// The remaining fields are name=value pairs in pinned order; parse by
+	// name so a reordering (which String can never produce) is caught.
+	want := [...]string{"alg", "alg2d", "p", "w", "h", "b", "op", "tr", "qcap", "maxcyc", "skew", "noop", "act", "seed", "shards"}
+	vals := make(map[string]string, len(want))
+	for i, name := range want {
+		got, val, ok := strings.Cut(fields[2+i], "=")
+		if !ok || got != name {
+			return k, fmt.Errorf("plan: bad key %q: field %d is %q, want %s=...", s, 2+i, fields[2+i], name)
+		}
+		vals[name] = val
+	}
+	k.Alg = core.Pattern(vals["alg"])
+	k.Alg2D = core.Pattern2D(vals["alg2d"])
+	var err error
+	atoi := func(name string) int {
+		if err != nil {
+			return 0
+		}
+		var n int
+		if n, err = strconv.Atoi(vals[name]); err != nil {
+			err = fmt.Errorf("plan: bad key %q: %s=%q: %v", s, name, vals[name], err)
+		}
+		return n
+	}
+	k.P, k.Width, k.Height, k.B = atoi("p"), atoi("w"), atoi("h"), atoi("b")
+	k.Opt.TR, k.Opt.QueueCap = atoi("tr"), atoi("qcap")
+	k.Opt.TaskActivation, k.Opt.Shards = atoi("act"), atoi("shards")
+	if err != nil {
+		return k, err
+	}
+	switch vals["op"] {
+	case "sum":
+		k.Op = fabric.OpSum
+	case "max":
+		k.Op = fabric.OpMax
+	case "min":
+		k.Op = fabric.OpMin
+	default:
+		return k, fmt.Errorf("plan: bad key %q: op=%q (sum, max, min)", s, vals["op"])
+	}
+	if k.Opt.MaxCycles, err = strconv.ParseInt(vals["maxcyc"], 10, 64); err != nil {
+		return k, fmt.Errorf("plan: bad key %q: maxcyc=%q", s, vals["maxcyc"])
+	}
+	if k.Opt.ClockSkewMax, err = strconv.ParseInt(vals["skew"], 10, 64); err != nil {
+		return k, fmt.Errorf("plan: bad key %q: skew=%q", s, vals["skew"])
+	}
+	// ParseFloat accepts the hexadecimal notation String emits.
+	if k.Opt.ThermalNoopRate, err = strconv.ParseFloat(vals["noop"], 64); err != nil {
+		return k, fmt.Errorf("plan: bad key %q: noop=%q", s, vals["noop"])
+	}
+	if k.Opt.Seed, err = strconv.ParseUint(vals["seed"], 10, 64); err != nil {
+		return k, fmt.Errorf("plan: bad key %q: seed=%q", s, vals["seed"])
+	}
+	return k, nil
 }
 
 // Request reconstructs a compile request from a canonical key, such that

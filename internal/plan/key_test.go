@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -115,4 +116,62 @@ func TestKeyRequestRoundTrip(t *testing.T) {
 			t.Errorf("KeyOf(k.Request()) drifted:\n got  %s\n want %s", again, k)
 		}
 	}
+}
+
+// TestParseKeyRoundTrip checks ParseKey is the inverse of Key.String —
+// the property the fleet's blob endpoint rests on: a peer receiving the
+// key string on the wire must reconstruct the identical Key (and so
+// address the identical plan) without ever seeing the original request.
+func TestParseKeyRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Kind: Reduce1D, Alg: core.Auto, P: 512, B: 16, Op: fabric.OpSum},
+		{Kind: AllReduce2D, Alg2D: core.XYTree, Width: 8, Height: 4, B: 32, Op: fabric.OpMax,
+			Opt: fabric.Options{TR: -1, QueueCap: 2, MaxCycles: 1 << 28, ClockSkewMax: 5,
+				ThermalNoopRate: 0.25, TaskActivation: 3, Seed: 9, Shards: 4}},
+		{Kind: Gather, P: 16, B: 64},
+		{Kind: Reduce1D, Alg: core.AutoGen, P: 32, B: 4, Op: fabric.OpMin,
+			Opt: fabric.Options{ThermalNoopRate: 0.1, Seed: 42}},
+	}
+	for _, req := range reqs {
+		k := KeyOf(req)
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Errorf("ParseKey(%q): %v", k.String(), err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKey round trip drifted:\n got  %#v\n want %#v", got, k)
+		}
+	}
+}
+
+// TestParseKeyRejects checks the malformed-key taxonomy: wrong version,
+// wrong field count, misnamed or unparseable fields all error instead of
+// silently producing a wrong (and then cached, and then served) key.
+func TestParseKeyRejects(t *testing.T) {
+	good := KeyOf(Request{Kind: Reduce1D, Alg: core.Auto, P: 8, B: 4, Op: fabric.OpSum}).String()
+	bad := []struct {
+		name, key string
+	}{
+		{"empty", ""},
+		{"garbage", "not a key"},
+		{"wrong-version", "k9" + good[2:]},
+		{"truncated", good[:len(good)-10]},
+		{"reordered-field", replaceOnce(good, "qcap=", "paqc=")},
+		{"bad-op", replaceOnce(good, "op=sum", "op=avg")},
+		{"bad-int", replaceOnce(good, "p=8", "p=eight")},
+		{"bad-float", replaceOnce(good, "noop=0x0p+00", "noop=zero")},
+	}
+	for _, tc := range bad {
+		if _, err := ParseKey(tc.key); err == nil {
+			t.Errorf("%s: ParseKey(%q) accepted a malformed key", tc.name, tc.key)
+		}
+	}
+	if _, err := ParseKey(good); err != nil {
+		t.Fatalf("control: ParseKey rejected a good key: %v", err)
+	}
+}
+
+func replaceOnce(s, old, new string) string {
+	return strings.Replace(s, old, new, 1)
 }

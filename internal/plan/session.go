@@ -94,7 +94,7 @@ func (s *Session) SubmitOpts(ctx context.Context, tenant string, req Request, in
 // scheduled replay (whose Submit re-runs the authoritative queue-time
 // admission check).
 func (s *Session) submitAdmitted(ctx context.Context, tenant string, req Request, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
-	p, err := s.cache.Get(req)
+	p, err := s.cache.GetCtx(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func (s *Session) SubmitBatch(ctx context.Context, tenant string, req Request, b
 	if err := s.sch.Admit(ctx, tenant); err != nil {
 		return nil, err
 	}
-	p, err := s.cache.Get(req)
+	p, err := s.cache.GetCtx(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +185,42 @@ func (s *Session) Close() error { return s.sch.Close() }
 // traffic, or concurrently — attachment is atomic with respect to
 // lookups.
 func (s *Session) SetStore(ps PlanStore) { s.cache.SetStore(ps) }
+
+// SetResolver attaches a resolver chain as the cache's miss path,
+// replacing the built-in store→compile fill. See Cache.SetResolver.
+func (s *Session) SetResolver(r Resolver) { s.cache.SetResolver(r) }
+
+// Resident returns the cached plan for key when resident, refreshing its
+// recency without touching the hit/miss accounting. This is what the
+// blob endpoint serves from: a peer asking for a plan by key should see
+// residency, never trigger a compile.
+func (s *Session) Resident(key Key) (*Plan, bool) { return s.cache.Lookup(key) }
+
+// Plans snapshots the resident plans, most recently used first.
+func (s *Session) Plans() []*Plan { return s.cache.Plans() }
+
+// Prefetch materialises the plan for req into the cache ahead of
+// traffic, through the attached resolver chain (or the legacy
+// store→compile path), and pre-builds one pooled fabric instance so the
+// first real request lands at steady-state replay latency. Like Warm it
+// stays out of the hit/miss accounting and coalesces with in-flight
+// fills. The returned bool reports whether a fill actually ran (false:
+// the plan was already resident or being fetched by someone else).
+func (s *Session) Prefetch(ctx context.Context, req Request) (bool, error) {
+	key := KeyOf(req)
+	fill := s.cache.fill(ctx, key, req)
+	_, fetched, err := s.cache.acquire(key, false, func() (*Plan, error) {
+		p, err := fill()
+		if err != nil {
+			return nil, err
+		}
+		if perr := p.Prewarm(); perr != nil {
+			return nil, perr
+		}
+		return p, nil
+	})
+	return fetched, err
+}
 
 // WarmStats reports what a Warm pass did: how many plans it decoded from
 // the store, how many it had to compile (and, when a store was given,

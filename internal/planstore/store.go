@@ -235,6 +235,48 @@ func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
 	return p, true, nil
 }
 
+// LoadBlob returns the raw encoded frame for key — header, content hash
+// and key identity verified, but never decoded. This is what the fleet
+// blob endpoint serves: the requesting peer pays the one decode, so a
+// blob served N times costs N disk reads and hash checks rather than N
+// full decode + re-encode round trips. Corrupt blobs quarantine exactly
+// as on the Load path.
+func (s *Store) LoadBlob(key plan.Key) ([]byte, bool, error) {
+	if err := faults.Inject("planstore.load"); err != nil {
+		s.note(func(st *Stats) { st.LoadErrors++ })
+		return nil, false, err
+	}
+	s.mu.Lock()
+	hash, ok := s.index[key]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.mu.Unlock()
+	data, err := os.ReadFile(s.blobPath(hash))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			s.drop(key, hash)
+			s.note(func(st *Stats) { st.Misses++ })
+			return nil, false, nil
+		}
+		s.note(func(st *Stats) { st.LoadErrors++ })
+		return nil, false, fmt.Errorf("planstore: %w", err)
+	}
+	gotKey, err := DecodeKey(data)
+	if err != nil {
+		s.quarantineEntry(key, hash)
+		return nil, false, fmt.Errorf("planstore: %s quarantined: %w", hash+blobExt, err)
+	}
+	if gotKey != key {
+		s.quarantineEntry(key, hash)
+		return nil, false, fmt.Errorf("planstore: blob %s holds key %v, indexed under %v: quarantined", hash, gotKey, key)
+	}
+	s.note(func(st *Stats) { st.Loads++ })
+	return data, true, nil
+}
+
 // Verify loads and checks every indexed plan, quarantining the ones that
 // fail. It returns the number of healthy plans and the content addresses
 // that were quarantined.

@@ -1,0 +1,226 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/faults"
+	"repro/internal/plan"
+	"repro/internal/planstore"
+)
+
+// blobServer is a minimal stand-in for a warm fleet worker: it serves
+// planstore-encoded blobs for whatever keys its map holds, over the same
+// GET /v1/plans/{key} route wsed exposes.
+func blobServer(t *testing.T, plans map[plan.Key]*plan.Plan) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := plan.ParseKey(r.PathValue("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, ok := plans[key]
+		if !ok {
+			http.Error(w, `{"error":{"code":"not_found"}}`, http.StatusNotFound)
+			return
+		}
+		blob, _, err := planstore.Encode(p)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(blob)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// fastPeer builds a Peer stage with test-grade impatience: single
+// attempt, tiny timeout, breaker effectively off.
+func fastPeer(url string) Resolver {
+	return Peer(url, client.Config{
+		MaxAttempts:      1,
+		AttemptTimeout:   2 * time.Second,
+		BreakerThreshold: 1000,
+	})
+}
+
+func TestPeerHit(t *testing.T) {
+	key := testKey(4)
+	p := mustCompile(t, key)
+	srv := blobServer(t, map[plan.Key]*plan.Plan{key: p})
+
+	peer := fastPeer(srv.URL)
+	got, err := peer.Resolve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("peer resolve: %v", err)
+	}
+	if got.Key != key {
+		t.Fatalf("peer returned plan for %s, want %s", got.Key, key)
+	}
+	// Bit-identity across the wire: the fetched plan must re-encode to
+	// exactly what a local compile encodes to.
+	local, _, _ := planstore.Encode(p)
+	remote, _, err := planstore.Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(local) != string(remote) {
+		t.Error("peer-fetched plan encodes differently from the local compile")
+	}
+	if st := peer.Stats()[0]; st.Hits != 1 || st.Lookups != 1 {
+		t.Errorf("peer stats = %+v, want 1 lookup 1 hit", st)
+	}
+}
+
+func TestPeerMissIs404IsErrNotFound(t *testing.T) {
+	srv := blobServer(t, nil)
+	peer := fastPeer(srv.URL)
+	_, err := peer.Resolve(context.Background(), testKey(4))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cold peer = %v, want ErrNotFound", err)
+	}
+	if st := peer.Stats()[0]; st.Misses != 1 || st.Errors != 0 {
+		t.Errorf("peer stats = %+v, want a clean miss", st)
+	}
+}
+
+func TestPeerDeadIsFailureNotMiss(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // dead on arrival
+	peer := fastPeer(srv.URL)
+	_, err := peer.Resolve(context.Background(), testKey(4))
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("dead peer = %v, want a non-miss failure", err)
+	}
+	if st := peer.Stats()[0]; st.Errors != 1 {
+		t.Errorf("peer stats = %+v, want the failure counted", st)
+	}
+}
+
+// TestPeerRejectsWrongKey checks the identity gate: a peer answering
+// with a valid blob for a different key must be a failure, not a hit —
+// otherwise one confused worker poisons every cache that trusts it.
+func TestPeerRejectsWrongKey(t *testing.T) {
+	asked, held := testKey(4), testKey(8)
+	wrong := mustCompile(t, held)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/plans/{key}", func(w http.ResponseWriter, r *http.Request) {
+		blob, _, _ := planstore.Encode(wrong)
+		w.Write(blob) // always answers with the wrong plan
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	peer := fastPeer(srv.URL)
+	_, err := peer.Resolve(context.Background(), asked)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("wrong-key blob = %v, want a failure", err)
+	}
+	if !strings.Contains(err.Error(), "key mismatch") {
+		t.Errorf("error %q does not name the mismatch", err)
+	}
+}
+
+func TestPeerFailpoint(t *testing.T) {
+	key := testKey(4)
+	srv := blobServer(t, map[plan.Key]*plan.Plan{key: mustCompile(t, key)})
+	peer := fastPeer(srv.URL)
+
+	faults.Set("resolve.peer", faults.Point{Mode: faults.ModeError, Count: 1})
+	defer faults.Reset()
+	if _, err := peer.Resolve(context.Background(), key); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("armed failpoint = %v, want ErrInjected", err)
+	}
+	// Exhausted after count=1: the very same stage now serves the hit.
+	if _, err := peer.Resolve(context.Background(), key); err != nil {
+		t.Fatalf("after failpoint exhaustion: %v", err)
+	}
+}
+
+// TestFleetChainColdWorker is the tentpole scenario in miniature: a cold
+// worker's chain (store miss → peer hit → write-back → compile never
+// runs) serves its first request via remote fetch and leaves the plan in
+// its local store for next time.
+func TestFleetChainColdWorker(t *testing.T) {
+	key := testKey(6)
+	warm := mustCompile(t, key)
+	srv := blobServer(t, map[plan.Key]*plan.Plan{key: warm})
+
+	local := newMemStore()
+	chain := Sequential(
+		Optional(Store(local)),
+		Optional(WriteBack(fastPeer(srv.URL), local)),
+		WriteBack(Compiler(), local),
+	)
+	p, err := chain.Resolve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("cold-worker resolve: %v", err)
+	}
+	if p.Key != key {
+		t.Fatalf("resolved wrong plan: %s", p.Key)
+	}
+	for _, st := range chain.Stats() {
+		switch {
+		case st.Stage == "compile" && st.Lookups != 0:
+			t.Errorf("cold worker compiled despite a warm peer: %+v", st)
+		case strings.HasPrefix(st.Stage, "peer") && st.Hits != 1:
+			t.Errorf("peer stats = %+v, want the fetch", st)
+		}
+	}
+	if _, ok := local.m[key]; !ok {
+		t.Error("peer fetch was not written back to the local store")
+	}
+	// Second lookup: local store hit, peer not consulted again.
+	if _, err := chain.Resolve(context.Background(), key); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range chain.Stats() {
+		if strings.HasPrefix(st.Stage, "peer") && st.Lookups != 1 {
+			t.Errorf("peer consulted again after write-back: %+v", st)
+		}
+	}
+	checkInvariant(t, chain)
+}
+
+// TestFleetChainPeerDownDegradesToCompile: the chaos posture — with the
+// peer dead and the chain's peer stage Optional, lookups degrade to
+// compile with no error surfaced.
+func TestFleetChainPeerDownDegradesToCompile(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	local := newMemStore()
+	chain := Sequential(
+		Optional(Store(local)),
+		Optional(fastPeer(dead.URL)),
+		WriteBack(Compiler(), local),
+	)
+	key := testKey(4)
+	p, err := chain.Resolve(context.Background(), key)
+	if err != nil || p == nil {
+		t.Fatalf("degraded resolve = %v, %v; want a compiled plan", p, err)
+	}
+	var peerErrors, compileHits int64
+	for _, st := range chain.Stats() {
+		if strings.HasPrefix(st.Stage, "peer") {
+			peerErrors = st.Errors
+		}
+		if st.Stage == "compile" {
+			compileHits = st.Hits
+		}
+	}
+	if peerErrors != 1 || compileHits != 1 {
+		t.Errorf("degradation not visible in stats: peer errors %d, compile hits %d", peerErrors, compileHits)
+	}
+	checkInvariant(t, chain)
+}

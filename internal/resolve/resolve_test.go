@@ -1,0 +1,441 @@
+package resolve
+
+// The resolver-chain contract under -race: sequential fallthrough and
+// mandatory/optional semantics, parallel first-success-cancels-losers,
+// singleflight dedup, the per-stage stats invariant
+// (hits+misses+errors = lookups), and bit-identical plans regardless of
+// which stage resolved.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/plan"
+	"repro/internal/planstore"
+)
+
+func testKey(p int) plan.Key {
+	return plan.KeyOf(plan.Request{Kind: plan.Reduce1D, Alg: core.Chain, P: p, B: 8, Op: fabric.OpSum})
+}
+
+// memStore is an in-memory PlanStore.
+type memStore struct {
+	mu       sync.Mutex
+	m        map[plan.Key]*plan.Plan
+	loads    int
+	saves    int
+	failLoad bool
+	failSave bool
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[plan.Key]*plan.Plan)} }
+
+func (s *memStore) Load(key plan.Key) (*plan.Plan, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	if s.failLoad {
+		return nil, false, errors.New("memstore: load failure")
+	}
+	p, ok := s.m[key]
+	return p, ok, nil
+}
+
+func (s *memStore) Save(p *plan.Plan) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.saves++
+	if s.failSave {
+		return errors.New("memstore: save failure")
+	}
+	s.m[p.Key] = p
+	return nil
+}
+
+// fakeStage is a scriptable Resolver for combinator tests.
+type fakeStage struct {
+	meter
+	delay   time.Duration
+	plan    *plan.Plan
+	err     error
+	honours bool // when set, a ctx cancellation during delay wins
+	calls   int64
+	mu2     sync.Mutex
+}
+
+func fake(name string, delay time.Duration, p *plan.Plan, err error) *fakeStage {
+	return &fakeStage{meter: newMeter(name), delay: delay, plan: p, err: err, honours: true}
+}
+
+func (s *fakeStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
+	s.mu2.Lock()
+	s.calls++
+	s.mu2.Unlock()
+	start := time.Now()
+	if s.delay > 0 {
+		t := time.NewTimer(s.delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			if s.honours {
+				err := ctx.Err()
+				s.observe(start, err)
+				return nil, err
+			}
+			<-t.C
+		}
+	}
+	s.observe(start, s.err)
+	return s.plan, s.err
+}
+
+func (s *fakeStage) callCount() int64 {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	return s.calls
+}
+
+func mustCompile(t testing.TB, key plan.Key) *plan.Plan {
+	t.Helper()
+	p, err := plan.Compile(key.Request())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+// checkInvariant asserts hits+misses+errors == lookups on every stage of
+// a chain's stats.
+func checkInvariant(t *testing.T, r Resolver) {
+	t.Helper()
+	for _, st := range r.Stats() {
+		if st.Hits+st.Misses+st.Errors != st.Lookups {
+			t.Errorf("stage %s: hits %d + misses %d + errors %d != lookups %d",
+				st.Stage, st.Hits, st.Misses, st.Errors, st.Lookups)
+		}
+	}
+}
+
+func TestSequentialFallthrough(t *testing.T) {
+	key := testKey(4)
+	p := mustCompile(t, key)
+	miss := fake("a", 0, nil, ErrNotFound)
+	hit := fake("b", 0, p, nil)
+	never := fake("c", 0, nil, errors.New("must not run"))
+	chain := Sequential(miss, hit, never)
+
+	got, err := chain.Resolve(context.Background(), key)
+	if err != nil || got != p {
+		t.Fatalf("Resolve = %v, %v; want the plan from stage b", got, err)
+	}
+	if never.callCount() != 0 {
+		t.Error("stage after the hit was consulted")
+	}
+	st := chain.Stats()
+	if st[0].Stage != "sequential" || st[0].Hits != 1 {
+		t.Errorf("sequential stats = %+v, want 1 hit", st[0])
+	}
+	checkInvariant(t, chain)
+}
+
+func TestSequentialMandatoryFailure(t *testing.T) {
+	key := testKey(4)
+	boom := errors.New("store exploded")
+	chain := Sequential(fake("broken", 0, nil, boom), fake("after", 0, mustCompile(t, key), nil))
+	_, err := chain.Resolve(context.Background(), key)
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "broken" || !errors.Is(err, boom) {
+		t.Fatalf("mandatory failure = %v, want *StageError{broken} wrapping the cause", err)
+	}
+	checkInvariant(t, chain)
+}
+
+func TestOptionalDegrades(t *testing.T) {
+	key := testKey(4)
+	p := mustCompile(t, key)
+	broken := fake("broken", 0, nil, errors.New("peer down"))
+	chain := Sequential(Optional(broken), fake("compile", 0, p, nil))
+	got, err := chain.Resolve(context.Background(), key)
+	if err != nil || got != p {
+		t.Fatalf("optional failure did not degrade: %v, %v", got, err)
+	}
+	// The optional wrapper hides the failure from composition but the
+	// stage's own stats must still record it — degradation stays
+	// observable.
+	if st := broken.Stats()[0]; st.Errors != 1 {
+		t.Errorf("broken stage stats = %+v, want the failure counted as an error", st)
+	}
+	checkInvariant(t, chain)
+}
+
+func TestSequentialAllMiss(t *testing.T) {
+	chain := Sequential(fake("a", 0, nil, ErrNotFound), fake("b", 0, nil, ErrNotFound))
+	if _, err := chain.Resolve(context.Background(), testKey(4)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("all-miss chain = %v, want ErrNotFound", err)
+	}
+	checkInvariant(t, chain)
+}
+
+// TestParallelFirstSuccessCancelsLosers races a fast hit against a slow
+// stage and asserts the slow stage observed cancellation — the winner
+// must not wait for (or leak) the loser.
+func TestParallelFirstSuccessCancelsLosers(t *testing.T) {
+	key := testKey(4)
+	p := mustCompile(t, key)
+	fast := fake("fast", 5*time.Millisecond, p, nil)
+	slow := fake("slow", 10*time.Second, mustCompile(t, key), nil)
+	par := Parallel(fast, slow)
+
+	start := time.Now()
+	got, err := par.Resolve(context.Background(), key)
+	if err != nil || got != p {
+		t.Fatalf("Resolve = %v, %v; want the fast stage's plan", got, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("parallel waited %v — the loser was not cancelled", elapsed)
+	}
+	// The slow loser resolves its cancellation asynchronously (the race
+	// returns on first success); wait for its lookup to land before
+	// checking its accounting.
+	deadline := time.Now().Add(5 * time.Second)
+	for slow.Stats()[0].Lookups == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := slow.Stats()[0]; st.Errors != 1 {
+		t.Errorf("slow stage stats = %+v, want its cancellation counted as an error", st)
+	}
+	checkInvariant(t, par)
+}
+
+func TestParallelAllMiss(t *testing.T) {
+	par := Parallel(fake("a", 0, nil, ErrNotFound), fake("b", 0, nil, ErrNotFound))
+	if _, err := par.Resolve(context.Background(), testKey(4)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("all-miss parallel = %v, want ErrNotFound", err)
+	}
+	checkInvariant(t, par)
+}
+
+func TestParallelMandatoryFailureNamesStage(t *testing.T) {
+	boom := errors.New("disk on fire")
+	par := Parallel(fake("healthy-miss", 0, nil, ErrNotFound), fake("burning", 0, nil, boom))
+	_, err := par.Resolve(context.Background(), testKey(4))
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "burning" || !errors.Is(err, boom) {
+		t.Fatalf("parallel mandatory failure = %v, want *StageError{burning}", err)
+	}
+	checkInvariant(t, par)
+}
+
+// TestSingleflightDedup fires N concurrent lookups for one key through a
+// slow inner stage and asserts the inner stage ran once.
+func TestSingleflightDedup(t *testing.T) {
+	key := testKey(4)
+	p := mustCompile(t, key)
+	slow := fake("inner", 20*time.Millisecond, p, nil)
+	sf := Singleflight(slow)
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*plan.Plan, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sf.Resolve(context.Background(), key)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != p {
+			t.Fatalf("caller %d: %v, %v", i, results[i], errs[i])
+		}
+	}
+	if calls := slow.callCount(); calls != 1 {
+		t.Errorf("inner stage ran %d times for %d concurrent lookups, want 1", calls, n)
+	}
+	st := sf.Stats()
+	if st[0].Lookups != n || st[1].Lookups != 1 {
+		t.Errorf("stats = outer %d lookups, inner %d; want %d and 1", st[0].Lookups, st[1].Lookups, n)
+	}
+	checkInvariant(t, sf)
+}
+
+// TestStatsInvariantUnderConcurrency hammers a mixed-outcome chain from
+// many goroutines and checks the accounting still balances per stage.
+func TestStatsInvariantUnderConcurrency(t *testing.T) {
+	key := testKey(4)
+	ms := newMemStore()
+	ms.m[key] = mustCompile(t, key)
+	missKey := testKey(8)
+	chain := Sequential(Optional(Store(ms)), WriteBack(Compiler(), ms))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				k := key
+				if (i+j)%2 == 0 {
+					k = missKey
+				}
+				if _, err := chain.Resolve(context.Background(), k); err != nil {
+					t.Errorf("resolve: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	checkInvariant(t, chain)
+	if st := chain.Stats()[0]; st.Lookups != 160 || st.Hits != 160 {
+		t.Errorf("chain stats = %+v, want 160 lookups all hits", st)
+	}
+}
+
+// TestBitIdenticalAcrossStages resolves one key through every stage kind
+// — compiler, store, memory — and asserts the encoded plan bytes are
+// identical: it must not matter where a plan came from.
+func TestBitIdenticalAcrossStages(t *testing.T) {
+	key := testKey(6)
+
+	compiled, err := Compiler().Resolve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("compiler stage: %v", err)
+	}
+	ms := newMemStore()
+	ms.m[key] = mustCompile(t, key)
+	stored, err := Store(ms).Resolve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("store stage: %v", err)
+	}
+	cache := plan.NewCache(4)
+	if _, err := cache.Get(key.Request()); err != nil {
+		t.Fatalf("cache fill: %v", err)
+	}
+	cached, err := Memory(cache).Resolve(context.Background(), key)
+	if err != nil {
+		t.Fatalf("memory stage: %v", err)
+	}
+
+	enc := func(p *plan.Plan) []byte {
+		blob, _, err := planstore.Encode(p)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		return blob
+	}
+	want := enc(compiled)
+	if !bytes.Equal(enc(stored), want) {
+		t.Error("store-resolved plan encodes differently from compiled")
+	}
+	if !bytes.Equal(enc(cached), want) {
+		t.Error("memory-resolved plan encodes differently from compiled")
+	}
+}
+
+// TestWriteBack checks the convergence mechanic: a compile behind
+// WriteBack lands in the store, and a second chain over the same store
+// resolves without compiling. Save failures are absorbed and counted.
+func TestWriteBack(t *testing.T) {
+	key := testKey(4)
+	ms := newMemStore()
+	first := Sequential(Optional(Store(ms)), WriteBack(Compiler(), ms))
+	if _, err := first.Resolve(context.Background(), key); err != nil {
+		t.Fatalf("first resolve: %v", err)
+	}
+	if ms.saves != 1 {
+		t.Fatalf("saves = %d, want 1 write-back", ms.saves)
+	}
+	second := Sequential(Optional(Store(ms)), WriteBack(Compiler(), ms))
+	if _, err := second.Resolve(context.Background(), key); err != nil {
+		t.Fatalf("second resolve: %v", err)
+	}
+	for _, st := range second.Stats() {
+		if st.Stage == "compile" && st.Lookups != 0 {
+			t.Errorf("second chain compiled despite the write-back: %+v", st)
+		}
+		if st.Stage == "store" && st.Hits != 1 {
+			t.Errorf("second chain store stats = %+v, want 1 hit", st)
+		}
+	}
+
+	ms.mu.Lock()
+	ms.failSave = true
+	ms.mu.Unlock()
+	wb := WriteBack(Compiler(), ms)
+	if _, err := wb.Resolve(context.Background(), testKey(8)); err != nil {
+		t.Fatalf("save failure leaked into the lookup: %v", err)
+	}
+	if st := wb.Stats()[0]; st.SaveErrors != 1 {
+		t.Errorf("stats = %+v, want the failed write-back counted", st)
+	}
+}
+
+// TestMemoryStage checks the memory stage consults residency only: a
+// miss does not populate the cache or touch its serving stats.
+func TestMemoryStage(t *testing.T) {
+	cache := plan.NewCache(4)
+	mem := Memory(cache)
+	key := testKey(4)
+	if _, err := mem.Resolve(context.Background(), key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cold cache = %v, want ErrNotFound", err)
+	}
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != 0 || st.Size != 0 {
+		t.Errorf("memory stage disturbed the cache: %+v", st)
+	}
+	if _, err := cache.Get(key.Request()); err != nil {
+		t.Fatal(err)
+	}
+	p, err := mem.Resolve(context.Background(), key)
+	if err != nil || p == nil {
+		t.Fatalf("resident lookup = %v, %v", p, err)
+	}
+	checkInvariant(t, mem)
+}
+
+// TestCacheResolverIntegration wires a chain into a plan.Cache via
+// SetResolver and checks the miss path goes through the chain (store
+// hit: no compile) while the legacy counters stay flat.
+func TestCacheResolverIntegration(t *testing.T) {
+	key := testKey(4)
+	ms := newMemStore()
+	ms.m[key] = mustCompile(t, key)
+	chain := Sequential(Optional(Store(ms)), WriteBack(Compiler(), ms))
+	cache := plan.NewCache(4)
+	cache.SetResolver(chain)
+
+	if _, err := cache.Get(key.Request()); err != nil {
+		t.Fatalf("get through resolver: %v", err)
+	}
+	for _, st := range chain.Stats() {
+		switch st.Stage {
+		case "store":
+			if st.Hits != 1 {
+				t.Errorf("store stats = %+v, want the fill's hit", st)
+			}
+		case "compile":
+			if st.Lookups != 0 {
+				t.Errorf("compile ran despite the store hit: %+v", st)
+			}
+		}
+	}
+	if st := cache.Stats(); st.StoreHits != 0 || st.StoreErrors != 0 {
+		t.Errorf("legacy store counters moved under a resolver: %+v", st)
+	}
+	// Second lookup: resident, chain not consulted again.
+	if _, err := cache.Get(key.Request()); err != nil {
+		t.Fatal(err)
+	}
+	if st := chain.Stats()[0]; st.Lookups != 1 {
+		t.Errorf("chain consulted %d times, want 1 (second lookup was resident)", st.Lookups)
+	}
+}

@@ -1,0 +1,109 @@
+package resolve
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultRingReplicas is the virtual-node count per member when NewRing
+// is given none. 64 points per member keeps the worst/best load skew
+// within a few percent for small fleets without making Pick's binary
+// search meaningfully slower.
+const DefaultRingReplicas = 64
+
+// Ring is a consistent-hash ring over fleet members. The front daemon
+// hashes each request's canonical plan key onto the ring and forwards
+// to the owning worker, so every worker's LRU stays hot on its own key
+// slice instead of all workers caching all keys. Adding or removing a
+// member remaps only the keys adjacent to its points — the property
+// that makes scale-out and worker death cheap.
+//
+// A Ring is immutable after NewRing; membership changes build a new
+// ring. That makes it safe for concurrent Pick with no locking.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring over members with the given virtual-node count
+// per member (<= 0 selects DefaultRingReplicas). Duplicate members are
+// collapsed; order does not matter.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		idx := len(r.members)
+		r.members = append(r.members, m)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(v)), member: idx})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// ringHash is FNV-64a pushed through a 64-bit avalanche finalizer.
+// Raw FNV is stdlib-only and fast but mixes poorly on the short,
+// near-identical strings hashed here ("w0#17", "w0#18", ...) — without
+// the finalizer a member's virtual nodes cluster and the ring skews
+// badly; with it every input bit diffuses across the whole hash.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Members returns the distinct members, in insertion order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Pick returns every member in preference order for key: the owner
+// (first ring point at or after the key's hash) first, then each
+// further member in ring-successor order. Callers walk the slice as a
+// failover list — forward to [0], shed to [1] when it is down — which
+// keeps failover deterministic per key, so a dead worker's keys all
+// land on the same survivors and stay cache-hot there.
+func (r *Ring) Pick(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[int]bool, len(r.members))
+	for i := 0; len(out) < len(r.members); i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.member] {
+			continue
+		}
+		seen[pt.member] = true
+		out = append(out, r.members[pt.member])
+	}
+	return out
+}
+
+// Owner returns just the owning member for key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if picks := r.Pick(key); len(picks) > 0 {
+		return picks[0]
+	}
+	return ""
+}

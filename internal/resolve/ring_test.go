@@ -1,0 +1,118 @@
+package resolve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = testKey(2 * (i + 2)).String()
+	}
+	return keys
+}
+
+func TestRingDeterminism(t *testing.T) {
+	members := []string{"http://w0:8080", "http://w1:8080", "http://w2:8080"}
+	a := NewRing(members, 0)
+	b := NewRing([]string{members[2], members[0], members[1]}, 0) // order must not matter
+	for _, k := range ringKeys(50) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on member declaration order", k)
+		}
+		pa, pb := a.Pick(k), b.Pick(k)
+		if fmt.Sprint(pa) != fmt.Sprint(pb) {
+			t.Fatalf("preference order of %q depends on declaration order: %v vs %v", k, pa, pb)
+		}
+	}
+}
+
+func TestRingPickCoversAllMembersOnce(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0)
+	for _, k := range ringKeys(20) {
+		pick := r.Pick(k)
+		if len(pick) != len(members) {
+			t.Fatalf("Pick(%q) = %v, want all %d members", k, pick, len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range pick {
+			if seen[m] {
+				t.Fatalf("Pick(%q) repeats member %q: %v", k, m, pick)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	// With 64 virtual nodes per member a 4-way split should stay within
+	// a loose factor of the 1000-per-member ideal; the test guards
+	// against the classic 1-vnode failure mode where one member owns
+	// nearly everything.
+	for _, m := range members {
+		if c := counts[m]; c < n/10 || c > n/2 {
+			t.Errorf("member %s owns %d of %d keys — distribution badly skewed: %v", m, c, n, counts)
+		}
+	}
+}
+
+// TestRingMembershipStability checks the consistent-hashing point: losing
+// one of four members must move only that member's keys, never remap a
+// key between two surviving members.
+func TestRingMembershipStability(t *testing.T) {
+	full := NewRing([]string{"a", "b", "c", "d"}, 0)
+	reduced := NewRing([]string{"a", "b", "c"}, 0)
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "d" {
+			moved++
+			continue // d's keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %q remapped %s→%s though its owner survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("member d owned no keys — distribution test should have caught this")
+	}
+	// Failover agreement: the reduced ring's owner is exactly the full
+	// ring's first surviving preference — a front that walks Pick() on
+	// worker death lands where a rebuilt ring would route.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		for _, m := range full.Pick(k) {
+			if m == "d" {
+				continue
+			}
+			if got := reduced.Owner(k); got != m {
+				t.Fatalf("key %q: failover order gives %s, rebuilt ring gives %s", k, m, got)
+			}
+			break
+		}
+	}
+}
+
+func TestRingDegenerate(t *testing.T) {
+	if NewRing(nil, 0).Pick("x") != nil {
+		t.Error("empty ring should pick nothing")
+	}
+	one := NewRing([]string{"solo", "", "solo"}, 0) // blanks and dupes dropped
+	if got := one.Members(); len(got) != 1 || got[0] != "solo" {
+		t.Errorf("Members() = %v, want the one deduped member", got)
+	}
+	if o := one.Owner("anything"); o != "solo" {
+		t.Errorf("Owner = %q, want solo", o)
+	}
+}

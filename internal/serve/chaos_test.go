@@ -24,7 +24,9 @@ import (
 
 	wse "repro"
 
+	"repro/client"
 	"repro/internal/faults"
+	"repro/internal/resolve"
 )
 
 // waitGoroutines polls until the live goroutine count drops back to at
@@ -197,4 +199,100 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("drain after chaos: %v", err)
 	}
 	waitGoroutines(t, baseGoroutines)
+}
+
+// TestChaosPeerDegradesToCompile is the fleet-mode chaos posture: a
+// worker whose resolver chain fetches from a peer, with the resolve.peer
+// failpoint failing a third of fetches. Because the peer stage is
+// Optional and compile terminates the chain, every single request must
+// still answer 200 — peer chaos is invisible to clients, visible only in
+// the per-stage error counters.
+func TestChaosPeerDegradesToCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	defer faults.Reset()
+
+	// The warm peer: a plain worker pre-heated over every shape the soak
+	// will request, so un-faulted fetches genuinely hit.
+	peerSess := wse.NewSession(wse.SessionConfig{})
+	peerSrv := New(Config{Session: peerSess})
+	peerTS := httptest.NewServer(peerSrv.Handler())
+	defer func() {
+		peerTS.Close()
+		peerSrv.stopSweeper()
+		peerSess.Close()
+	}()
+	var shapes []string
+	for p := 2; p <= 20; p += 2 {
+		shapes = append(shapes, fmt.Sprintf(`{"kind":"reduce1d","p":%d,"b":4,"op":"sum"}`, p))
+	}
+	warmBody := fmt.Sprintf(`{"shapes":[%s]}`, strings.Join(shapes, ","))
+	req, _ := http.NewRequest("POST", peerTS.URL+"/v1/warm", strings.NewReader(warmBody))
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("warming the peer: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// The worker under test: cold cache, chain = optional peer → compile.
+	chain := resolve.Sequential(
+		resolve.Optional(resolve.Peer(peerTS.URL, client.Config{MaxAttempts: 1, BreakerThreshold: 1 << 30})),
+		resolve.Compiler(),
+	)
+	sess := wse.NewSession(wse.SessionConfig{Resolver: chain})
+	srv := New(Config{Session: sess, Resolver: chain})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.stopSweeper()
+		sess.Close()
+	}()
+
+	faults.SetSeed(11)
+	faults.Set("resolve.peer", faults.Point{P: 0.33})
+
+	var non200 int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 16)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			p := 2 + 2*(i%10)
+			resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", p, 4), nil)
+			if resp.StatusCode != http.StatusOK {
+				atomic.AddInt64(&non200, 1)
+				t.Errorf("request %d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	faults.Reset()
+
+	if non200 != 0 {
+		t.Fatalf("%d requests surfaced peer chaos to the client", non200)
+	}
+	var peerErrors, peerHits, compileHits int64
+	for _, st := range chain.Stats() {
+		if strings.HasPrefix(st.Stage, "peer") {
+			peerErrors, peerHits = st.Errors, st.Hits
+		}
+		if st.Stage == "compile" {
+			compileHits = st.Hits
+		}
+		if st.Hits+st.Misses+st.Errors != st.Lookups {
+			t.Errorf("stage %s accounting leak under chaos: %+v", st.Stage, st)
+		}
+	}
+	if peerErrors == 0 {
+		t.Error("the resolve.peer failpoint never fired — the soak proved nothing")
+	}
+	if compileHits == 0 {
+		t.Error("no lookup degraded to compile — either chaos never hit or it 5xx'd")
+	}
+	t.Logf("peer chaos: peer hits=%d errors=%d, compiles=%d (all 200)", peerHits, peerErrors, compileHits)
 }

@@ -1,0 +1,315 @@
+package serve
+
+// The fleet surface end to end over httptest: the plan-blob endpoint's
+// hit/miss/reject taxonomy, remote warming, resolver metrics export, and
+// the consistent-hash front — sticky routing, worker-death failover with
+// zero client-visible 5xx, and async jobs polled through the front.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	wse "repro"
+	"repro/internal/planstore"
+	"repro/internal/resolve"
+)
+
+func TestPlanBlobEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Make one plan resident the way a peer's would be: by serving.
+	resp, _ := post(t, ts.URL+"/v1/run", runBody("reduce1d", 4, 4), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	key := wse.KeyString(wse.Shape{Kind: wse.KindReduce, Alg: wse.Auto, P: 4, B: 4, Op: wse.Sum}, wse.Options{})
+
+	resp, body := get(t, ts.URL+"/v1/plans/"+url.PathEscape(key))
+	if resp.StatusCode != 200 {
+		t.Fatalf("blob fetch: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	p, _, err := planstore.Decode(body)
+	if err != nil {
+		t.Fatalf("served blob does not decode: %v", err)
+	}
+	if p.Key.String() != key {
+		t.Errorf("blob holds plan for %s, asked %s", p.Key, key)
+	}
+
+	// A well-formed key the daemon does not hold: 404, and crucially no
+	// compile on the peer's behalf — the plan must still be non-resident.
+	cold := wse.KeyString(wse.Shape{Kind: wse.KindReduce, Alg: wse.Auto, P: 16, B: 4, Op: wse.Sum}, wse.Options{})
+	if resp, _ := get(t, ts.URL+"/v1/plans/"+url.PathEscape(cold)); resp.StatusCode != 404 {
+		t.Errorf("cold key = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/plans/"+url.PathEscape(cold)); resp.StatusCode != 404 {
+		t.Errorf("cold key second fetch = %d, want 404 still (no compile-by-proxy)", resp.StatusCode)
+	}
+
+	if resp, _ := get(t, ts.URL+"/v1/plans/not-a-key"); resp.StatusCode != 400 {
+		t.Errorf("malformed key = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWarmEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"shapes":[{"kind":"reduce1d","p":4,"b":4,"op":"sum"},{"kind":"allgather","p":8,"b":16},{"kind":"bogus","p":4,"b":4}]}`
+	resp, out := post(t, ts.URL+"/v1/warm", body, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("warm: %d %s", resp.StatusCode, out)
+	}
+	var wr warmResponse
+	if err := json.Unmarshal(out, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Warmed != 2 || wr.Resident != 0 || wr.Failed != 1 || len(wr.Errors) != 1 {
+		t.Fatalf("first warm = %+v, want 2 warmed, 1 failed", wr)
+	}
+	// Idempotent: the same list again is all resident.
+	_, out = post(t, ts.URL+"/v1/warm", body, nil)
+	if err := json.Unmarshal(out, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Warmed != 0 || wr.Resident != 2 || wr.Failed != 1 {
+		t.Fatalf("second warm = %+v, want 2 resident", wr)
+	}
+}
+
+// TestResolverMetrics wires a real chain into the session and checks the
+// per-stage counters surface in /metrics after traffic.
+func TestResolverMetrics(t *testing.T) {
+	chain := resolve.Sequential(resolve.Compiler())
+	sess := wse.NewSession(wse.SessionConfig{Resolver: chain})
+	_, ts := newTestServer(t, Config{Session: sess, Resolver: chain})
+
+	if resp, _ := post(t, ts.URL+"/v1/run", runBody("reduce1d", 4, 4), nil); resp.StatusCode != 200 {
+		t.Fatalf("run: %d", resp.StatusCode)
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`wse_resolve_lookups_total{stage="sequential"} 1`,
+		`wse_resolve_hits_total{stage="sequential"} 1`,
+		`wse_resolve_lookups_total{stage="compile"} 1`,
+		`wse_resolve_latency_seconds_total{stage="compile"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// countingHandler fronts a worker's handler, counting verb requests so
+// routing tests can see where traffic landed.
+type countingHandler struct {
+	h    http.Handler
+	hits atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		c.hits.Add(1)
+	}
+	c.h.ServeHTTP(w, r)
+}
+
+func newWorker(t *testing.T) (*countingHandler, *httptest.Server) {
+	t.Helper()
+	sess := wse.NewSession(wse.SessionConfig{})
+	s := New(Config{Session: sess})
+	ch := &countingHandler{h: s.Handler()}
+	ts := httptest.NewServer(ch)
+	t.Cleanup(func() {
+		ts.Close()
+		s.stopSweeper()
+		sess.Close()
+	})
+	return ch, ts
+}
+
+func newTestFront(t *testing.T, workers ...string) *httptest.Server {
+	t.Helper()
+	f := NewFront(FrontConfig{Workers: workers, Cooldown: time.Minute})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFrontStickyRouting: the same shape must land on the same worker
+// every time, and across enough distinct shapes both workers see work.
+func TestFrontStickyRouting(t *testing.T) {
+	c0, w0 := newWorker(t)
+	c1, w1 := newWorker(t)
+	front := newTestFront(t, w0.URL, w1.URL)
+
+	counters := []*atomic.Int64{&c0.hits, &c1.hits}
+	touched := map[int]bool{}
+	for p := 2; p <= 16; p += 2 {
+		body := runBody("reduce1d", p, 4)
+		var owner int
+		for rep := 0; rep < 2; rep++ {
+			before := []int64{counters[0].Load(), counters[1].Load()}
+			resp, out := post(t, front.URL+"/v1/run", body, nil)
+			if resp.StatusCode != 200 {
+				t.Fatalf("p=%d rep=%d: %d %s", p, rep, resp.StatusCode, out)
+			}
+			landed := -1
+			for i, c := range counters {
+				if c.Load() > before[i] {
+					landed = i
+				}
+			}
+			if rep == 0 {
+				owner = landed
+				touched[landed] = true
+			} else if landed != owner {
+				t.Errorf("p=%d bounced between workers %d and %d", p, owner, landed)
+			}
+		}
+	}
+	if len(touched) != 2 {
+		t.Errorf("8 distinct shapes all routed to one worker: %v", touched)
+	}
+}
+
+// TestFrontFailover kills the worker that owns a shape and asserts the
+// front sheds to the survivor with no client-visible failure.
+func TestFrontFailover(t *testing.T) {
+	_, w0 := newWorker(t)
+	_, w1 := newWorker(t)
+	workers := []string{w0.URL, w1.URL}
+	front := newTestFront(t, workers...)
+	ring := resolve.NewRing(workers, 0)
+
+	// Find a shape owned by each worker so the kill is guaranteed to
+	// matter for at least one request.
+	shapeFor := map[string]string{}
+	for p := 2; p <= 32 && len(shapeFor) < 2; p += 2 {
+		sh := wse.Shape{Kind: wse.KindReduce, Alg: wse.Auto, P: p, B: 4, Op: wse.Sum}
+		owner := ring.Owner(wse.KeyString(sh, wse.Options{}))
+		if _, ok := shapeFor[owner]; !ok {
+			shapeFor[owner] = runBody("reduce1d", p, 4)
+		}
+	}
+	if len(shapeFor) != 2 {
+		t.Fatalf("could not find shapes for both workers")
+	}
+
+	w0.Close() // SIGKILL stand-in: connections now refused
+	for owner, body := range shapeFor {
+		resp, out := post(t, front.URL+"/v1/run", body, nil)
+		if resp.StatusCode != 200 {
+			t.Errorf("shape owned by %s after kill: %d %s", owner, resp.StatusCode, out)
+		}
+	}
+	// And again: the dead worker is cooled down now, so the re-route is
+	// direct (no per-request probe of the corpse).
+	for _, body := range shapeFor {
+		if resp, _ := post(t, front.URL+"/v1/run", body, nil); resp.StatusCode != 200 {
+			t.Errorf("post-cooldown request failed: %d", resp.StatusCode)
+		}
+	}
+
+	_, metrics := get(t, front.URL+"/metrics")
+	if !strings.Contains(string(metrics), "wse_front_workers_down 1") {
+		t.Errorf("metrics do not show the downed worker:\n%s", metrics)
+	}
+}
+
+// TestFrontSubmitPoll drives the async tier through the front: the job
+// id comes back worker-prefixed and polls route to the owning worker.
+func TestFrontSubmitPoll(t *testing.T) {
+	_, w0 := newWorker(t)
+	_, w1 := newWorker(t)
+	front := newTestFront(t, w0.URL, w1.URL)
+
+	resp, out := post(t, front.URL+"/v1/submit", runBody("reduce1d", 4, 4), nil)
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(out, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sub.ID, "w0.") && !strings.HasPrefix(sub.ID, "w1.") {
+		t.Fatalf("job id %q lacks the worker prefix", sub.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := get(t, front.URL+"/v1/jobs/"+sub.ID)
+		if resp.StatusCode != 200 {
+			t.Fatalf("poll: %d %s", resp.StatusCode, body)
+		}
+		var job struct {
+			State  string          `json:"state"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" {
+			if len(job.Result) == 0 {
+				t.Fatal("done job carries no result")
+			}
+			break
+		}
+		if job.State == "failed" {
+			t.Fatalf("job failed: %s", body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if resp, _ := get(t, front.URL+"/v1/jobs/no-such-prefix"); resp.StatusCode != 404 {
+		t.Errorf("unprefixed job id = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, front.URL+"/v1/jobs/w9.whatever"); resp.StatusCode != 404 {
+		t.Errorf("out-of-range worker prefix = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestFrontBadBody400(t *testing.T) {
+	_, w0 := newWorker(t)
+	front := newTestFront(t, w0.URL)
+	if resp, _ := post(t, front.URL+"/v1/run", "{not json", nil); resp.StatusCode != 400 {
+		t.Errorf("garbage body = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, front.URL+"/v1/run", `{"shape":{"kind":"bogus","p":4,"b":4}}`, nil); resp.StatusCode != 400 {
+		t.Errorf("bad shape = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, front.URL+"/v1/warm", `{"shapes":[]}`, nil); resp.StatusCode != 400 {
+		t.Errorf("empty warm = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFrontWorkerOwn4xxStreamsThrough: a worker's own rejection is the
+// answer — the front must not mistake a 429/400 for worker death and
+// retry it elsewhere.
+func TestFrontWorkerOwn4xxStreamsThrough(t *testing.T) {
+	var hits atomic.Int64
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"overloaded"}`)
+	}))
+	defer reject.Close()
+	front := newTestFront(t, reject.URL)
+	resp, _ := post(t, front.URL+"/v1/run", runBody("reduce1d", 4, 4), nil)
+	if resp.StatusCode != 429 {
+		t.Fatalf("front answered %d, want the worker's own 429", resp.StatusCode)
+	}
+	if hits.Load() != 1 {
+		t.Errorf("worker hit %d times, want no retry of a non-transport answer", hits.Load())
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"sync"
 
 	wse "repro"
+
+	"repro/internal/resolve"
 )
 
 // httpStats counts requests per endpoint and status code.
@@ -69,6 +71,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("wse_plan_store_save_errors_total", "counter", c("wse_plan_store_save_errors_total", st.SaveErrors))
 		emit("wse_plan_store_quarantined_total", "counter", c("wse_plan_store_quarantined_total", st.Quarantined))
 		emit("wse_plan_store_plans", "gauge", c("wse_plan_store_plans", int64(st.Plans)))
+	}
+
+	if s.cfg.Resolver != nil {
+		stages := s.cfg.Resolver.Stats()
+		stageCounter := func(field string, pick func(st resolve.Stats) int64) {
+			lines := make([]string, 0, len(stages))
+			for _, st := range stages {
+				lines = append(lines, fmt.Sprintf("wse_resolve_%s_total{stage=%q} %d", field, st.Stage, pick(st)))
+			}
+			emit("wse_resolve_"+field+"_total", "counter", lines...)
+		}
+		stageCounter("lookups", func(st resolve.Stats) int64 { return st.Lookups })
+		stageCounter("hits", func(st resolve.Stats) int64 { return st.Hits })
+		stageCounter("misses", func(st resolve.Stats) int64 { return st.Misses })
+		stageCounter("errors", func(st resolve.Stats) int64 { return st.Errors })
+		stageCounter("save_errors", func(st resolve.Stats) int64 { return st.SaveErrors })
+		lat := make([]string, 0, len(stages))
+		for _, st := range stages {
+			lat = append(lat, fmt.Sprintf("wse_resolve_latency_seconds_total{stage=%q} %g", st.Stage, st.Latency.Seconds()))
+		}
+		emit("wse_resolve_latency_seconds_total", "counter", lat...)
 	}
 
 	sched := s.cfg.Session.SchedStats()

@@ -39,6 +39,7 @@ import (
 	wse "repro"
 
 	"repro/internal/faults"
+	"repro/internal/resolve"
 )
 
 // Config assembles a Server. Session is required; everything else has a
@@ -50,6 +51,10 @@ type Config struct {
 	// Store, when non-nil, is the session's attached plan store; /metrics
 	// then exposes its counters alongside the cache's.
 	Store *wse.PlanStore
+	// Resolver, when non-nil, is the resolver chain attached to the
+	// session (wired separately via wse.SessionConfig.Resolver); /metrics
+	// then exposes its per-stage hit/miss/latency/error breakdown.
+	Resolver resolve.Resolver
 	// DefaultTenant is the QoS config under which unknown tenant names
 	// are admitted. The zero value is a weight-1 Batch tenant with the
 	// default queue bound.
@@ -124,6 +129,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/bound", s.api("bound", s.handleBound))
 	s.mux.HandleFunc("POST /v1/submit", s.api("submit", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.api("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/plans/{key}", s.api("plans", s.handlePlanBlob))
+	s.mux.HandleFunc("POST /v1/warm", s.api("warm", s.handleWarm))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

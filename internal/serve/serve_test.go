@@ -195,8 +195,11 @@ func TestBadShape400(t *testing.T) {
 // 429 with a Retry-After hint, synchronously — admission control never
 // queues the rejection. A backlog of Interactive in-process blockers
 // pins the single worker, so the Batch-class tenant's queued request is
-// never dispatched while they are pending — the second wire submit hits
-// the MaxQueue=1 bound no matter how the test goroutines are scheduled.
+// never dispatched while they are pending. Async submits enqueue after
+// compiling (admission is a snapshot, not a reservation — see
+// sched.Admit), so the test waits for the scheduler to actually see the
+// blocker backlog and then the queued first submit before asserting:
+// without those barriers the asserts race the submit goroutines.
 func TestOverloaded429(t *testing.T) {
 	sess := wse.NewSession(wse.SessionConfig{Workers: 1})
 	_, ts := newTestServer(t, Config{
@@ -213,6 +216,20 @@ func TestOverloaded429(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		blocker.Submit(context.Background(), blockShape, blockInputs)
 	}
+	waitTenant := func(name string, queued func(wse.TenantStats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !queued(sess.SchedStats().Tenants[name]) {
+			if time.Now().After(deadline) {
+				t.Fatalf("tenant %q never reached the expected queue state: %+v",
+					name, sess.SchedStats().Tenants[name])
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// All 64 blockers enqueued: the worker is pinned on one, 63 pending
+	// Interactive outrank anything the Batch-class tenant queues.
+	waitTenant("blocker", func(st wse.TenantStats) bool { return st.Submitted == 64 })
 
 	body := runBody("reduce1d", 8, 4)
 	hdr := map[string]string{"X-WSE-Tenant": "tight"}
@@ -220,6 +237,9 @@ func TestOverloaded429(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit: status %d: %s", resp.StatusCode, rbody)
 	}
+	// The accepted job enqueues from its own goroutine after compiling;
+	// the second submit must observe it queued to hit the MaxQueue=1 bound.
+	waitTenant("tight", func(st wse.TenantStats) bool { return st.Depth == 1 })
 	resp, rbody = post(t, ts.URL+"/v1/submit", body, hdr)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second submit: status %d, want 429 (%s)", resp.StatusCode, rbody)

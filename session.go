@@ -45,6 +45,13 @@ type SessionConfig struct {
 	// once per process. Store failures never fail a request — the session
 	// falls back to compiling — and are counted in PlanStats.StoreErrors.
 	Store *PlanStore
+	// Resolver, when non-nil, replaces the cache's built-in store→compile
+	// miss path with a composed resolver chain (internal/resolve via the
+	// wse.Resolver alias): local store, remote fleet peers, compile as
+	// last resort, in whatever composition the caller built. Store may
+	// still be set alongside it — the session then serves its plan-blob
+	// surface from the store even though the chain owns the fill path.
+	Resolver Resolver
 	// Scheduler tunes the multi-tenant QoS layer in front of the worker
 	// pool; the zero value serves everything as one weight-1 Batch tenant
 	// with the default queue bound.
@@ -127,9 +134,10 @@ type PlanStats = plan.CacheStats
 
 // Session executes collectives against cached compiled plans.
 type Session struct {
-	opt Options
-	s   *plan.Session
-	def Tenant // the default-tenant handle the Session's own methods serve under
+	opt   Options
+	s     *plan.Session
+	store *PlanStore // retained from SessionConfig.Store; may be nil
+	def   Tenant     // the default-tenant handle the Session's own methods serve under
 }
 
 // NewSession creates a session. The zero SessionConfig models the WSE-2
@@ -149,7 +157,11 @@ func NewSession(cfg SessionConfig) *Session {
 		}),
 	}
 	if cfg.Store != nil {
+		s.store = cfg.Store
 		s.s.SetStore(cfg.Store)
+	}
+	if cfg.Resolver != nil {
+		s.s.SetResolver(cfg.Resolver)
 	}
 	s.def = Tenant{s: s} // empty name: the scheduler's default tenant
 	return s
