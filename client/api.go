@@ -3,7 +3,8 @@ package client
 // The verb surface and its wire types. The types mirror the daemon's
 // JSON exactly (internal/serve's ShapeWire/ReportWire), restated here so
 // the client package stands alone — importing it pulls in nothing but
-// the standard library, which is what makes it embeddable in tools that
+// the standard library (internal/obs, the one internal import, is
+// itself stdlib-only), which is what makes it embeddable in tools that
 // never link the simulator.
 
 import (
@@ -17,6 +18,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Shape is a collective shape as the daemon's wire format spells it:
@@ -40,6 +43,7 @@ type FabricStats struct {
 	MaxReceived int64 `json:"max_received"`
 	MaxQueueLen int   `json:"max_queue_len"`
 	Noops       int64 `json:"noops,omitempty"`
+	Steps       int64 `json:"steps,omitempty"`
 }
 
 // Report is the result of a run: measured cycles, the model estimate,
@@ -293,6 +297,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
+	// One span per wire attempt (retries each get their own), and the
+	// traceparent header carries the caller's trace onto the server so
+	// its root span joins this trace instead of opening a new one.
+	sctx, span := obs.Start(ctx, "client "+method)
+	span.SetAttr("path", path)
+	obs.InjectHeader(sctx, req.Header)
+	defer span.End()
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
@@ -311,9 +322,15 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		err = fmt.Errorf("client: %s %s: %w", method, path, err)
+		span.SetError(err)
+		return err
 	}
 	defer resp.Body.Close()
+	span.SetAttr("status", resp.StatusCode)
+	if resp.StatusCode >= 500 {
+		span.SetError(fmt.Errorf("http %d", resp.StatusCode))
+	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return fmt.Errorf("client: read response: %w", err)

@@ -29,6 +29,10 @@
 //	    one launched with WSE_FAILPOINTS) through the retrying client with
 //	    faults firing, assert the failure-model invariants, and write
 //	    BENCH_chaos.json (served/shed/retried counts, recovery p99).
+//	wsecollect trace [-url URL | -in FILE] [-min-ms F]
+//	    fetch a daemon's committed traces (GET /debug/traces) or read a
+//	    -trace-file JSONL, and pretty-print each span tree with per-span
+//	    self-times — the "where did the milliseconds go" view.
 //
 // Examples:
 //
@@ -93,6 +97,8 @@ type config struct {
 	out        string
 	compare    string
 	failpoints string
+	in         string
+	minMS      float64
 	// set records which flags were passed explicitly, for defaults that
 	// differ per subcommand (serve bursts -repeat 64 unless given).
 	set map[string]bool
@@ -127,6 +133,8 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.StringVar(&c.out, "out", "BENCH_serve.json", "load: where to write the wire-latency trajectory point")
 	fs.StringVar(&c.compare, "compare", "BENCH_api.json", "load: in-process trajectory point to diff against (\"\" to skip)")
 	fs.StringVar(&c.failpoints, "failpoints", "", "chaos: failpoint schedule for the in-process daemon (site=mode[:p=F][:count=N][:delay=D], semicolon list; default: 5% error on every inner seam)")
+	fs.StringVar(&c.in, "in", "", "trace: read traces from this JSONL file (a wsed -trace-file) instead of -url")
+	fs.Float64Var(&c.minMS, "min-ms", 0, "trace: only show traces at least this slow")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -178,8 +186,10 @@ func realMain() int {
 		err = loadCmd(c)
 	case "chaos":
 		err = chaosCmd(c)
+	case "trace":
+		err = traceCmd(c)
 	default:
-		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load, chaos)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load, chaos, trace)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)

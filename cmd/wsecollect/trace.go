@@ -1,0 +1,183 @@
+package main
+
+// The trace subcommand: pretty-print committed traces as indented span
+// trees with self-times. Traces come from a running daemon's GET
+// /debug/traces (the default) or from a -trace-file JSONL via -in, so
+// the same view works live and post-mortem.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// traceCmd fetches or reads traces and prints one tree per trace.
+func traceCmd(c *config) error {
+	var traces []*obs.Trace
+	var err error
+	if c.in != "" {
+		traces, err = readTraceFile(c.in)
+	} else {
+		traces, err = fetchTraces(c.url, c.minMS)
+	}
+	if err != nil {
+		return err
+	}
+	minDur := time.Duration(c.minMS * float64(time.Millisecond))
+	shown := 0
+	for _, tr := range traces {
+		if tr.Duration < minDur {
+			continue
+		}
+		printTrace(tr)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Println("no traces (is the daemon running with tracing enabled, and has it served sampled requests?)")
+	}
+	return nil
+}
+
+// readTraceFile parses a wsed -trace-file: one JSON trace per line.
+func readTraceFile(path string) ([]*obs.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []*obs.Trace
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // traces can be wide: up to 512 spans
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tr obs.Trace
+		if err := json.Unmarshal(line, &tr); err != nil {
+			return nil, fmt.Errorf("%s: bad trace line: %v", path, err)
+		}
+		out = append(out, &tr)
+	}
+	return out, sc.Err()
+}
+
+// fetchTraces pulls the committed ring from a daemon.
+func fetchTraces(baseURL string, minMS float64) ([]*obs.Trace, error) {
+	url := fmt.Sprintf("%s/debug/traces?min_ms=%g", baseURL, minMS)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%s: tracing is disabled on this daemon (run wsed with -trace)", baseURL)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	var out []*obs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decode traces: %v", err)
+	}
+	return out, nil
+}
+
+// printTrace renders one trace as an indented tree. Each span line
+// shows its duration and its self-time (duration minus the sum of its
+// children's), so the slow level of the stack is visible at a glance.
+func printTrace(tr *obs.Trace) {
+	status := "ok"
+	if tr.Error != "" {
+		status = "ERROR " + tr.Error
+	}
+	fmt.Printf("trace %s  %s  %s  %s", tr.TraceID, tr.Root, fmtDur(tr.Duration), status)
+	if tr.Dropped > 0 {
+		fmt.Printf("  (%d spans dropped)", tr.Dropped)
+	}
+	fmt.Println()
+
+	// A span whose parent id is absent from the trace is a local root:
+	// "" for a trace minted here, a remote span id for one joined via
+	// traceparent (the parent lives in another daemon's ring).
+	ids := make(map[string]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		ids[sp.ID] = true
+	}
+	children := make(map[string][]obs.SpanRecord)
+	var roots []obs.SpanRecord
+	for _, sp := range tr.Spans {
+		if ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Offset < kids[j].Offset })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Offset < roots[j].Offset })
+	for _, root := range roots {
+		printSpan(root, children, 1)
+	}
+	fmt.Println()
+}
+
+func printSpan(sp obs.SpanRecord, children map[string][]obs.SpanRecord, depth int) {
+	kids := children[sp.ID]
+	self := sp.Duration
+	for _, k := range kids {
+		self -= k.Duration
+	}
+	if self < 0 {
+		self = 0 // concurrent children can overlap past the parent's span
+	}
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := fmt.Sprintf("%s%-*s %10s", indent, 32-len(indent), sp.Name, fmtDur(sp.Duration))
+	if len(kids) > 0 {
+		line += fmt.Sprintf("  (self %s)", fmtDur(self))
+	}
+	if attrs := fmtAttrs(sp.Attrs); attrs != "" {
+		line += "  " + attrs
+	}
+	if sp.Error != "" {
+		line += "  ERROR " + sp.Error
+	}
+	fmt.Println(line)
+	for _, k := range kids {
+		printSpan(k, children, depth+1)
+	}
+}
+
+// fmtAttrs renders span attributes compactly, keys sorted.
+func fmtAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, attrs[k])
+	}
+	return out
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

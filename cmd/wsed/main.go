@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,6 +44,7 @@ import (
 	wse "repro"
 	"repro/client"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/resolve"
 	"repro/internal/serve"
 )
@@ -67,6 +69,12 @@ func realMain() int {
 	mode := fs.String("mode", "serve", "serve (worker daemon) or front (consistent-hash router over -peers)")
 	peers := fs.String("peers", "", "comma-separated peer wsed base URLs (worker: resolve plans from them; front: route across them)")
 	verifyStore := fs.Bool("verify-store", false, "run the plan store corruption sweep at startup, quarantining bad blobs (requires -store)")
+	traceOn := fs.Bool("trace", true, "enable request tracing (spans, GET /debug/traces)")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling probability in [0,1]; errored and slow traces are kept regardless")
+	traceSlow := fs.Duration("trace-slow", 0, "keep any trace at least this slow even when not head-sampled (0 = off)")
+	traceFile := fs.String("trace-file", "", "append committed traces as JSON lines to this file")
+	debugAddr := fs.String("debug-addr", "", "separate listener for net/http/pprof (never mounted on the public address)")
+	slowMS := fs.Int64("slow-ms", 0, "log one structured line per request slower than this many milliseconds (rate-limited; 0 = off)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -76,8 +84,18 @@ func realMain() int {
 	logger := log.New(os.Stderr, "wsed: ", log.LstdFlags)
 	peerList := splitPeers(*peers)
 
+	tracer, closeTracer, err := buildTracer(*traceOn, *traceSample, *traceSlow, *traceFile)
+	if err != nil {
+		logger.Println(err)
+		return 1
+	}
+	defer closeTracer()
+	if *debugAddr != "" {
+		startDebugServer(logger, *debugAddr)
+	}
+
 	if *mode == "front" {
-		return runFront(logger, *addr, peerList, wse.Options{MaxCycles: *maxCycles, Shards: *shards}, *drainTimeout)
+		return runFront(logger, *addr, peerList, wse.Options{MaxCycles: *maxCycles, Shards: *shards}, *drainTimeout, tracer)
 	}
 	if *mode != "serve" {
 		logger.Printf("bad -mode %q (serve, front)", *mode)
@@ -179,6 +197,9 @@ func realMain() int {
 		RetryAfter:     *retryAfter,
 		RequestTimeout: *reqTimeout,
 		JobTTL:         *jobTTL,
+		Tracer:         tracer,
+		SlowThreshold:  time.Duration(*slowMS) * time.Millisecond,
+		SlowLogger:     logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -221,12 +242,12 @@ func realMain() int {
 // runFront serves -mode front: a sessionless consistent-hash router
 // over the worker list. SIGTERM stops the listener after in-flight
 // forwards complete; there is no session to drain.
-func runFront(logger *log.Logger, addr string, workers []string, opt wse.Options, drainTimeout time.Duration) int {
+func runFront(logger *log.Logger, addr string, workers []string, opt wse.Options, drainTimeout time.Duration, tracer *obs.Tracer) int {
 	if len(workers) == 0 {
 		logger.Println("-mode front requires -peers URL[,URL...]")
 		return 2
 	}
-	front := serve.NewFront(serve.FrontConfig{Workers: workers, Options: opt})
+	front := serve.NewFront(serve.FrontConfig{Workers: workers, Options: opt, Tracer: tracer})
 	httpSrv := &http.Server{Addr: addr, Handler: front.Handler()}
 
 	sigs := make(chan os.Signal, 1)
@@ -249,6 +270,53 @@ func runFront(logger *log.Logger, addr string, workers []string, opt wse.Options
 	}
 	<-done
 	return 0
+}
+
+// buildTracer assembles the daemon's tracer from the -trace* flags: nil
+// (and zero per-request overhead) when tracing is off, otherwise head
+// sampling at -trace-sample with errored and over--trace-slow traces
+// kept regardless, optionally appending committed traces to -trace-file
+// as JSON lines. The returned closer flushes and detaches the tracer.
+func buildTracer(on bool, sample float64, slow time.Duration, file string) (*obs.Tracer, func(), error) {
+	if !on {
+		return nil, func() {}, nil
+	}
+	cfg := obs.Config{Sample: sample, SlowThreshold: slow}
+	var f *os.File
+	if file != "" {
+		var err error
+		f, err = os.OpenFile(file, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace-file: %w", err)
+		}
+		cfg.Sink = f
+	}
+	t := obs.NewTracer(cfg)
+	return t, func() {
+		t.Close()
+		if f != nil {
+			f.Close()
+		}
+	}, nil
+}
+
+// startDebugServer exposes net/http/pprof on its own listener — a fresh
+// mux on a separate address, never the public one: profiling is an
+// operator surface, not part of the API, and -debug-addr should bind a
+// loopback or otherwise-firewalled address.
+func startDebugServer(logger *log.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logger.Printf("debug listener (pprof) on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Println("debug listener:", err)
+		}
+	}()
 }
 
 // splitPeers parses the -peers list, trimming blanks and trailing

@@ -72,6 +72,7 @@ func (f *Fabric) resultColumnar(res *ColumnarResult) error {
 		res.Stats.Hops += sh.stats.Hops
 		res.Stats.RampMoves += sh.stats.RampMoves
 		res.Stats.Noops += sh.stats.Noops
+		res.Stats.Steps += sh.stats.Steps
 		if sh.stats.MaxQueueLen > res.Stats.MaxQueueLen {
 			res.Stats.MaxQueueLen = sh.stats.MaxQueueLen
 		}

@@ -206,6 +206,13 @@ type Stats struct {
 	MaxReceived int64
 	MaxQueueLen int
 	Noops       int64
+	// Steps counts unit-step invocations (active routers + processors
+	// visited across all cycles) — the engine's work measure, as opposed
+	// to Cycles, its time measure. In an event-scheduled engine the two
+	// diverge exactly when units sleep; Steps/Cycles is the mean active
+	// unit count. Counted once per shard per cycle, never in the inner
+	// stepping loop.
+	Steps int64
 }
 
 // Result reports a completed run. The result owns its data: Acc and Clocks
@@ -718,6 +725,7 @@ func (sh *shardState) stayProc(i int32) {
 // observable through the undelivered-inbox protocol check).
 func (sh *shardState) phaseStep() {
 	f := sh.f
+	sh.stats.Steps += int64(len(sh.curR) + len(sh.curP))
 	for _, ri := range sh.curR {
 		r := &f.routers[ri]
 		r.inList = false
@@ -944,6 +952,7 @@ func (f *Fabric) result() (*Result, error) {
 		res.Stats.Hops += sh.stats.Hops
 		res.Stats.RampMoves += sh.stats.RampMoves
 		res.Stats.Noops += sh.stats.Noops
+		res.Stats.Steps += sh.stats.Steps
 		if sh.stats.MaxQueueLen > res.Stats.MaxQueueLen {
 			res.Stats.MaxQueueLen = sh.stats.MaxQueueLen
 		}

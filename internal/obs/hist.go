@@ -1,0 +1,160 @@
+package obs
+
+// Prometheus-style latency histograms, lock-free on the observe path:
+// a fixed log-spaced bucket ladder and atomic counters, so a histogram
+// observe costs one binary search and two atomic adds — cheap enough
+// for the serve middleware and the scheduler dispatch loop.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency ladder in seconds: log-spaced
+// 10µs → 10s (1-2.5-5 per decade). Replayed plans answer in ~100µs,
+// cold compiles and saturated queues run to seconds — six decades, 19
+// buckets, so every regime lands 2–3 buckets from its neighbours and a
+// quantile estimate is within ~2.5× everywhere.
+var DefBuckets = []float64{
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is one label-set's distribution: counts[i] observations at
+// value <= bounds[i], counts[len(bounds)] the +Inf overflow.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over bounds (ascending; nil means
+// DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy for rendering or stats.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is +Inf.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the owning bucket — the usual Prometheus histogram_quantile
+// estimate. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) { // +Inf bucket: clamp to the last bound
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// HistogramVec is a histogram per label set. The label string is the
+// rendered Prometheus label body (`route="run",code="200"`) so the
+// metrics exporter can emit it verbatim.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec builds a vec over bounds (nil means DefBuckets).
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{bounds: bounds, m: make(map[string]*Histogram)}
+}
+
+// Observe records v (seconds) under the given label body, creating the
+// child histogram on first sight.
+func (v *HistogramVec) Observe(labels string, x float64) {
+	v.mu.RLock()
+	h := v.m[labels]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		if h = v.m[labels]; h == nil {
+			h = NewHistogram(v.bounds)
+			v.m[labels] = h
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(x)
+}
+
+// Snapshot copies every label set's current state, keyed by label body.
+func (v *HistogramVec) Snapshot() map[string]HistogramSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(v.m))
+	for k, h := range v.m {
+		out[k] = h.Snapshot()
+	}
+	return out
+}

@@ -5,6 +5,8 @@ import (
 	"context"
 	"log"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // DefaultCacheCapacity bounds a Cache when the caller passes no capacity.
@@ -145,7 +147,12 @@ func (c *Cache) fill(ctx context.Context, key Key, req Request) func() (*Plan, e
 	return func() (*Plan, error) {
 		ps := c.storeHandle()
 		if ps != nil {
-			switch p, ok, err := ps.Load(key); {
+			_, lspan := obs.Start(ctx, "planstore.load")
+			p, ok, err := ps.Load(key)
+			lspan.SetAttr("hit", ok)
+			lspan.SetError(err)
+			lspan.End()
+			switch {
 			case err != nil:
 				c.noteStoreError(err)
 			case ok:
@@ -153,11 +160,17 @@ func (c *Cache) fill(ctx context.Context, key Key, req Request) func() (*Plan, e
 				return p, nil
 			}
 		}
+		_, cspan := obs.Start(ctx, "plan.compile")
 		p, err := Compile(req)
+		cspan.SetError(err)
+		cspan.End()
 		if err == nil && ps != nil {
+			_, sspan := obs.Start(ctx, "planstore.save")
 			if serr := ps.Save(p); serr != nil {
+				sspan.SetError(serr)
 				c.noteStoreError(serr)
 			}
+			sspan.End()
 		}
 		return p, err
 	}

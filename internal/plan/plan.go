@@ -21,6 +21,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -475,11 +476,18 @@ func (p *Plan) ExecuteOpts(inputs [][]float32, eo ExecOptions) (*core.Report, er
 // MaxCycles for a caller that already left. A nil ctx — or one that can
 // never fire, like context.Background() — runs without the hook.
 func (p *Plan) ExecuteCtx(ctx context.Context, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
+	// The span brackets the whole replay; cycles/steps land as attributes
+	// after the run, so tracing never reaches inside the cycle loop.
+	_, span := obs.Start(ctx, "fabric.exec")
 	if err := faults.Inject("fabric.exec"); err != nil {
+		span.SetError(err)
+		span.End()
 		return nil, err
 	}
 	pf, err := p.checkout(inputs)
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		return nil, err
 	}
 	if ctx != nil && ctx.Done() != nil {
@@ -492,9 +500,14 @@ func (p *Plan) ExecuteCtx(ctx context.Context, inputs [][]float32, eo ExecOption
 	if err != nil {
 		// Keep failed instances out of the pool: the error path is cold
 		// and a fresh New is the conservative restart.
+		span.SetError(err)
+		span.End()
 		return nil, err
 	}
 	p.pool.Put(pf)
+	span.SetAttr("cycles", rep.Cycles)
+	span.SetAttr("steps", rep.Stats.Steps)
+	span.End()
 	return rep, nil
 }
 
@@ -513,7 +526,11 @@ func (p *Plan) ExecuteBatch(ctx context.Context, batches [][][]float32, eo ExecO
 	if len(batches) == 0 {
 		return nil, nil
 	}
+	_, span := obs.Start(ctx, "fabric.batch")
+	span.SetAttr("entries", len(batches))
+	defer span.End()
 	if err := faults.Inject("fabric.exec"); err != nil {
+		span.SetError(err)
 		return nil, err
 	}
 	// Validate every batch entry before simulating any: a malformed entry

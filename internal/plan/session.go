@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -94,7 +95,10 @@ func (s *Session) SubmitOpts(ctx context.Context, tenant string, req Request, in
 // scheduled replay (whose Submit re-runs the authoritative queue-time
 // admission check).
 func (s *Session) submitAdmitted(ctx context.Context, tenant string, req Request, inputs [][]float32, eo ExecOptions) (*core.Report, error) {
-	p, err := s.cache.GetCtx(ctx, req)
+	rctx, rspan := obs.Start(ctx, "plan.resolve")
+	p, err := s.cache.GetCtx(rctx, req)
+	rspan.SetError(err)
+	rspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +144,10 @@ func (s *Session) SubmitBatch(ctx context.Context, tenant string, req Request, b
 	if err := s.sch.Admit(ctx, tenant); err != nil {
 		return nil, err
 	}
-	p, err := s.cache.GetCtx(ctx, req)
+	rctx, rspan := obs.Start(ctx, "plan.resolve")
+	p, err := s.cache.GetCtx(rctx, req)
+	rspan.SetError(err)
+	rspan.End()
 	if err != nil {
 		return nil, err
 	}

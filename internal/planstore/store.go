@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/plan"
@@ -59,6 +60,12 @@ type Stats struct {
 	SaveErrors  int64
 	Quarantined int64
 	Plans       int
+	// LoadLatency and SaveLatency accumulate wall time across every Load
+	// (including misses and failures) and Save/Put respectively — the
+	// totals behind /metrics' wse_plan_store_{load,save}_seconds_total,
+	// which divided by the operation counters give mean store latency.
+	LoadLatency time.Duration
+	SaveLatency time.Duration
 }
 
 // Stats snapshots the store's operation accounting.
@@ -153,6 +160,10 @@ func (s *Store) Save(p *plan.Plan) error {
 
 // Put is Save returning the plan's content address.
 func (s *Store) Put(p *plan.Plan) (string, error) {
+	start := time.Now()
+	defer func() {
+		s.note(func(st *Stats) { st.SaveLatency += time.Since(start) })
+	}()
 	if err := faults.Inject("planstore.save"); err != nil {
 		s.note(func(st *Stats) { st.SaveErrors++ })
 		return "", err
@@ -193,6 +204,10 @@ func (s *Store) Put(p *plan.Plan) (string, error) {
 // from the index, and reported as an error — the caller falls back to
 // compiling, and the operator can inspect the quarantined blob.
 func (s *Store) Load(key plan.Key) (*plan.Plan, bool, error) {
+	start := time.Now()
+	defer func() {
+		s.note(func(st *Stats) { st.LoadLatency += time.Since(start) })
+	}()
 	if err := faults.Inject("planstore.load"); err != nil {
 		s.note(func(st *Stats) { st.LoadErrors++ })
 		return nil, false, err

@@ -284,6 +284,10 @@ func TestStoreStats(t *testing.T) {
 		t.Fatal("missing key loaded")
 	}
 	st := s.Stats()
+	if st.LoadLatency <= 0 || st.SaveLatency <= 0 {
+		t.Fatalf("latency totals not accumulated: %+v", st)
+	}
+	st.LoadLatency, st.SaveLatency = 0, 0 // wall-clock, not comparable exactly
 	want := Stats{Loads: 1, Misses: 1, Saves: 1, Plans: 1}
 	if st != want {
 		t.Fatalf("stats = %+v, want %+v", st, want)
@@ -297,6 +301,7 @@ func TestStoreStats(t *testing.T) {
 		t.Fatal("corrupt blob loaded without error")
 	}
 	st = s.Stats()
+	st.LoadLatency, st.SaveLatency = 0, 0
 	want = Stats{Loads: 1, Misses: 1, Saves: 1, LoadErrors: 1, Quarantined: 1, Plans: 0}
 	if st != want {
 		t.Fatalf("stats after corruption = %+v, want %+v", st, want)

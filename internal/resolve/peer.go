@@ -7,6 +7,7 @@ import (
 
 	"repro/client"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/planstore"
 )
@@ -52,8 +53,11 @@ func Peer(baseURL string, cfg client.Config) Resolver {
 
 func (s *peerStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
 	start := time.Now()
+	_, sp := obs.Start(ctx, "resolve.peer")
+	sp.SetAttr("peer", s.url)
 	p, err := s.fetch(ctx, key)
 	s.observe(start, err)
+	outcome(sp, err)
 	return p, err
 }
 

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -127,6 +128,27 @@ func (m *meter) noteSaveError(err error) {
 	m.mu.Unlock()
 }
 
+// span opens a "resolve.<stage>" trace span for one lookup; outcome
+// closes it, recording hit/miss/error the same way observe classifies
+// them. Both are no-ops without a live trace in ctx.
+func (m *meter) span(ctx context.Context) *obs.Span {
+	_, s := obs.Start(ctx, "resolve."+m.name)
+	return s
+}
+
+func outcome(s *obs.Span, err error) {
+	switch {
+	case err == nil:
+		s.SetAttr("outcome", "hit")
+	case errors.Is(err, ErrNotFound):
+		s.SetAttr("outcome", "miss")
+	default:
+		s.SetAttr("outcome", "error")
+		s.SetError(err)
+	}
+	s.End()
+}
+
 // memoryStage consults a plan.Cache's residency: a hit refreshes
 // recency, a miss never triggers the cache's own fill.
 type memoryStage struct {
@@ -144,12 +166,14 @@ func Memory(c *plan.Cache) Resolver {
 
 func (s *memoryStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
 	start := time.Now()
+	sp := s.span(ctx)
 	p, ok := s.cache.Lookup(key)
 	var err error
 	if !ok {
 		err = ErrNotFound
 	}
 	s.observe(start, err)
+	outcome(sp, err)
 	return p, err
 }
 
@@ -175,11 +199,13 @@ func Store(ps PlanStore) Resolver {
 
 func (s *storeStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
 	start := time.Now()
+	sp := s.span(ctx)
 	p, ok, err := s.ps.Load(key)
 	if err == nil && !ok {
 		err = ErrNotFound
 	}
 	s.observe(start, err)
+	outcome(sp, err)
 	if err != nil {
 		return nil, err
 	}
@@ -200,8 +226,10 @@ func Compiler() Resolver {
 
 func (s *compilerStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
 	start := time.Now()
+	sp := s.span(ctx)
 	p, err := plan.Compile(key.Request())
 	s.observe(start, err)
+	outcome(sp, err)
 	return p, err
 }
 
@@ -226,9 +254,12 @@ func (s *writeBackStage) Name() string { return s.inner.Name() }
 func (s *writeBackStage) Resolve(ctx context.Context, key plan.Key) (*plan.Plan, error) {
 	p, err := s.inner.Resolve(ctx, key)
 	if err == nil {
+		_, sp := obs.Start(ctx, "planstore.save")
 		if serr := s.ps.Save(p); serr != nil {
+			sp.SetError(serr)
 			s.m.noteSaveError(serr)
 		}
+		sp.End()
 	}
 	return p, err
 }

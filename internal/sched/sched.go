@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Priority is a strict dispatch class. The zero value is Batch; the
@@ -64,6 +65,19 @@ func (p Priority) String() string {
 		return "background"
 	default:
 		return "batch"
+	}
+}
+
+// classLabel renders a class's Prometheus label body once, so the
+// dispatch path's histogram observe never formats a string.
+func classLabel(p Priority) string {
+	switch p {
+	case Interactive:
+		return `class="interactive"`
+	case Background:
+		return `class="background"`
+	default:
+		return `class="batch"`
 	}
 }
 
@@ -217,6 +231,10 @@ type task struct {
 	submitted time.Time
 	started   time.Time
 	done      chan struct{}
+	// qspan is the "sched.queue" trace span, open from Submit until the
+	// task leaves the queue (dispatch, shed or cancel). Nil unless the
+	// submitting request carries a live trace.
+	qspan *obs.Span
 }
 
 type tenant struct {
@@ -254,6 +272,12 @@ type Scheduler struct {
 	saturated time.Duration // cumulative all-workers-busy time
 	wg        sync.WaitGroup
 
+	// queueWaitHist is the class-labelled queue-wait distribution behind
+	// /metrics' wse_sched_queue_wait_seconds histogram — unlike the
+	// per-tenant sketches it has fixed Prometheus buckets, so fleet-wide
+	// aggregation across scrapes is exact.
+	queueWaitHist *obs.HistogramVec
+
 	// panics counts worker panics recovered into PanicErrors — the
 	// poisoned-request signal /metrics watches. Atomic: bumped on the
 	// recovery path, read by Stats without the mutex.
@@ -269,10 +293,11 @@ func New(cfg Config) *Scheduler {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Scheduler{
-		workers: cfg.Workers,
-		defcfg:  cfg.DefaultTenant.normalized(),
-		tenants: make(map[string]*tenant),
-		floors:  make(map[Priority]float64),
+		workers:       cfg.Workers,
+		defcfg:        cfg.DefaultTenant.normalized(),
+		tenants:       make(map[string]*tenant),
+		floors:        make(map[Priority]float64),
+		queueWaitHist: obs.NewHistogramVec(nil),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -389,7 +414,10 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run func(context.
 	}
 	tn.stats.Submitted++
 	s.startLocked()
-	t := &task{tn: tn, ctx: ctx, run: run, submitted: time.Now(), done: make(chan struct{})}
+	_, qspan := obs.Start(ctx, "sched.queue")
+	qspan.SetAttr("tenant", tn.name)
+	qspan.SetAttr("class", tn.cfg.Priority.String())
+	t := &task{tn: tn, ctx: ctx, run: run, submitted: time.Now(), done: make(chan struct{}), qspan: qspan}
 	if tn.depth == 0 && tn.vtime < s.floors[tn.cfg.Priority] {
 		tn.vtime = s.floors[tn.cfg.Priority]
 	}
@@ -429,6 +457,8 @@ func (s *Scheduler) Submit(ctx context.Context, tenant string, run func(context.
 		tn.stats.Cancelled++
 		tn.depth--
 		s.depth--
+		t.qspan.SetError(CtxError(ctx))
+		t.qspan.End()
 		for len(tn.q) > 0 && tn.q[0].state == taskCancelled {
 			tn.q[0] = nil
 			tn.q = tn.q[1:]
@@ -561,13 +591,17 @@ func (s *Scheduler) worker() {
 			t.run = nil
 			t.ctx = nil
 			tn.stats.Cancelled++
+			t.qspan.SetError(t.err)
+			t.qspan.End()
 			close(t.done)
 			continue
 		}
 		now := time.Now()
 		t.state = taskRunning
 		t.started = now
+		t.qspan.End()
 		tn.queueWait.observe(now.Sub(t.submitted))
+		s.queueWaitHist.Observe(classLabel(tn.cfg.Priority), now.Sub(t.submitted).Seconds())
 		if tn.vtime > s.floors[tn.cfg.Priority] {
 			s.floors[tn.cfg.Priority] = tn.vtime
 		}
@@ -576,7 +610,13 @@ func (s *Scheduler) worker() {
 		s.noteSaturationLocked(now)
 		s.mu.Unlock()
 
-		err := s.runIsolated(t)
+		// The exec span is opened on the task's own context so the work
+		// closure's spans (plan resolve, fabric exec) nest under it.
+		ectx, espan := obs.Start(t.ctx, "sched.exec")
+		espan.SetAttr("tenant", tn.name)
+		err := s.runIsolated(t, ectx)
+		espan.SetError(err)
+		espan.End()
 
 		// end is captured before the lock wait so exec latency measures
 		// the work alone; saturation accounting gets a fresh timestamp
@@ -607,7 +647,7 @@ func (s *Scheduler) worker() {
 // request are untouched — the failure blast radius is exactly one
 // request. The sched.dispatch failpoint lives inside the isolation
 // boundary, so injected dispatch panics exercise the same recovery.
-func (s *Scheduler) runIsolated(t *task) (err error) {
+func (s *Scheduler) runIsolated(t *task, ctx context.Context) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -617,7 +657,7 @@ func (s *Scheduler) runIsolated(t *task) (err error) {
 	if err := faults.Inject("sched.dispatch"); err != nil {
 		return err
 	}
-	return t.run(t.ctx)
+	return t.run(ctx)
 }
 
 // noteSaturationLocked accumulates the time during which every worker
@@ -696,6 +736,10 @@ type Stats struct {
 	// Panicked requests are Served+Failed in their tenant's ledger (they
 	// ran); this counter is the cross-tenant poison signal.
 	Panics int64 `json:"panics"`
+	// QueueWaitHist is the class-labelled queue-wait histogram (label
+	// body → snapshot), consumed by the /metrics exporter. Excluded from
+	// JSON dumps — the sketch quantiles above remain the wire form.
+	QueueWaitHist map[string]obs.HistogramSnapshot `json:"-"`
 }
 
 // Stats snapshots the scheduler's accounting.
@@ -727,5 +771,6 @@ func (s *Scheduler) Stats() Stats {
 		st.Pool.SaturatedNow = true
 	}
 	st.Panics = s.panics.Load()
+	st.QueueWaitHist = s.queueWaitHist.Snapshot()
 	return st
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	wse "repro"
+	"repro/internal/obs"
 	"repro/internal/resolve"
 )
 
@@ -56,6 +57,10 @@ type FrontConfig struct {
 	// http.Client). Per-request deadlines ride the incoming request's
 	// context, which the outgoing request inherits.
 	Client *http.Client
+	// Tracer, when set, opens a root span per routed request and injects
+	// the traceparent into forwarded requests, so a worker's root span
+	// joins the front's trace. Nil disables tracing (zero overhead).
+	Tracer *obs.Tracer
 }
 
 // Front routes Shape traffic across a worker fleet by consistent hash.
@@ -100,6 +105,9 @@ func NewFront(cfg FrontConfig) *Front {
 	f.mux.HandleFunc("GET /v1/jobs/{id}", f.handleJob)
 	f.mux.HandleFunc("GET /healthz", f.handleHealthz)
 	f.mux.HandleFunc("GET /metrics", f.handleMetrics)
+	f.mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(f.cfg.Tracer, w, r)
+	})
 	return f
 }
 
@@ -116,7 +124,20 @@ type shapeProbe struct {
 func (f *Front) route(endpoint string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
-		defer func() { f.http.record(endpoint, sw.code()) }()
+		ctx, span := f.cfg.Tracer.Root(r.Context(), "front "+endpoint, r.Header.Get(obs.Header))
+		if span != nil {
+			span.SetAttr("tenant", tenantName(r))
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			code := sw.code()
+			f.http.record(endpoint, code)
+			if code >= 500 {
+				span.SetError(fmt.Errorf("http %d", code))
+			}
+			span.SetAttr("code", code)
+			span.End()
+		}()
 		r.Body = http.MaxBytesReader(sw, r.Body, f.cfg.MaxBody)
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
@@ -176,14 +197,21 @@ func (f *Front) forward(w *statusWriter, r *http.Request, endpoint, key string, 
 		if i > 0 {
 			f.failovers.Add(1)
 		}
-		req, err := http.NewRequestWithContext(r.Context(), r.Method, worker+r.URL.Path, bytes.NewReader(body))
+		fctx, fspan := obs.Start(r.Context(), "front.forward")
+		fspan.SetAttr("worker", worker)
+		req, err := http.NewRequestWithContext(fctx, r.Method, worker+r.URL.Path, bytes.NewReader(body))
 		if err != nil {
+			fspan.SetError(err)
+			fspan.End()
 			f.writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		copyForwardHeaders(req.Header, r.Header)
+		obs.InjectHeader(fctx, req.Header)
 		resp, err := f.hc.Do(req)
 		if err != nil {
+			fspan.SetError(err)
+			fspan.End()
 			f.markDown(worker)
 			lastErr = err.Error()
 			continue
@@ -195,9 +223,13 @@ func (f *Front) forward(w *statusWriter, r *http.Request, endpoint, key string, 
 			resp.Body.Close()
 			f.markDown(worker)
 			lastErr = fmt.Sprintf("worker %s: status %d", worker, resp.StatusCode)
+			fspan.SetError(fmt.Errorf("worker %s: status %d", worker, resp.StatusCode))
+			fspan.End()
 			continue
 		}
+		fspan.SetAttr("status", resp.StatusCode)
 		f.relay(w, resp, endpoint, indexOf(f.cfg.Workers, worker))
+		fspan.End()
 		return
 	}
 	f.exhausted.Add(1)

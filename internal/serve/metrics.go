@@ -8,12 +8,15 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	wse "repro"
 
+	"repro/internal/obs"
 	"repro/internal/resolve"
 )
 
@@ -71,6 +74,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		emit("wse_plan_store_save_errors_total", "counter", c("wse_plan_store_save_errors_total", st.SaveErrors))
 		emit("wse_plan_store_quarantined_total", "counter", c("wse_plan_store_quarantined_total", st.Quarantined))
 		emit("wse_plan_store_plans", "gauge", c("wse_plan_store_plans", int64(st.Plans)))
+		emit("wse_plan_store_load_seconds_total", "counter", g("wse_plan_store_load_seconds_total", st.LoadLatency.Seconds()))
+		emit("wse_plan_store_save_seconds_total", "counter", g("wse_plan_store_save_seconds_total", st.SaveLatency.Seconds()))
 	}
 
 	if s.cfg.Resolver != nil {
@@ -146,6 +151,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	emit("wse_http_requests_total", "counter", reqs...)
 
+	writeHistogramVec(&b, "wse_http_request_duration_seconds", s.httpDur.Snapshot())
+	writeHistogramVec(&b, "wse_sched_queue_wait_seconds", sched.QueueWaitHist)
+
+	goroutines, heap, gcPause := s.rt.snapshot(time.Now())
+	emit("wse_goroutines", "gauge", c("wse_goroutines", goroutines))
+	emit("wse_heap_alloc_bytes", "gauge", c("wse_heap_alloc_bytes", heap))
+	emit("wse_gc_pause_seconds_total", "counter", g("wse_gc_pause_seconds_total", gcPause))
+
 	emit("wse_up", "gauge", c("wse_up", boolGauge(!s.draining.Load())))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -157,4 +170,52 @@ func boolGauge(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// writeHistogramVec renders one histogram family in Prometheus text
+// form: cumulative _bucket{...,le="..."} series per label set (keys are
+// pre-rendered label bodies), then _sum and _count.
+func writeHistogramVec(b *strings.Builder, name string, snaps map[string]obs.HistogramSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	labels := make([]string, 0, len(snaps))
+	for l := range snaps {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		snap := snaps[l]
+		var cum int64
+		for i, bound := range snap.Bounds {
+			cum += snap.Counts[i]
+			fmt.Fprintf(b, "%s_bucket{%s,le=\"%g\"} %d\n", name, l, bound, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, l, snap.Count)
+		fmt.Fprintf(b, "%s_sum{%s} %g\n", name, l, snap.Sum)
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, l, snap.Count)
+	}
+}
+
+// runtimeStatsCache caches runtime.ReadMemStats (a stop-the-world-ish
+// call) for about a second, so an aggressive scraper cannot stall the
+// daemon by hammering /metrics.
+type runtimeStatsCache struct {
+	mu         sync.Mutex
+	at         time.Time
+	goroutines int64
+	heap       int64
+	gcPause    float64
+}
+
+func (rc *runtimeStatsCache) snapshot(now time.Time) (goroutines, heapAlloc int64, gcPauseSeconds float64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.at.IsZero() || now.Sub(rc.at) >= time.Second {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		rc.at = now
+		rc.goroutines = int64(runtime.NumGoroutine())
+		rc.heap = int64(ms.HeapAlloc)
+		rc.gcPause = float64(ms.PauseTotalNs) / 1e9
+	}
+	return rc.goroutines, rc.heap, rc.gcPause
 }

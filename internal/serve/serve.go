@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
@@ -39,6 +40,7 @@ import (
 	wse "repro"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/resolve"
 )
 
@@ -77,6 +79,17 @@ type Config struct {
 	// MaxBody caps request body size in bytes (default 64 MiB — a full
 	// 750×994 wafer of B=16 float32 vectors fits with headroom).
 	MaxBody int64
+	// Tracer, when non-nil, opens one root span per API request (joining
+	// the caller's trace via the traceparent header) and serves the
+	// committed-trace ring at GET /debug/traces. Nil disables tracing;
+	// the cost then is one atomic load per instrumented seam.
+	Tracer *obs.Tracer
+	// SlowThreshold, when > 0, logs one structured line (trace id,
+	// tenant, route, phase breakdown) per request at least this slow,
+	// rate-limited to avoid log storms under overload.
+	SlowThreshold time.Duration
+	// SlowLogger receives the slow-request lines (default log.Default()).
+	SlowLogger *log.Logger
 }
 
 // Server is the daemon's handler set. Create with New, mount via
@@ -86,6 +99,13 @@ type Server struct {
 	mux  *http.ServeMux
 	jobs *jobRegistry
 	http httpStats
+
+	// httpDur is the wse_http_request_duration_seconds histogram, one
+	// child per route+code, observed by the api middleware for every
+	// request whether or not tracing is enabled.
+	httpDur *obs.HistogramVec
+	slowLim slowLimiter
+	rt      runtimeStatsCache
 
 	// httpPanics counts panics recovered in the HTTP middleware (handler
 	// bugs, injected serve.* panic failpoints) — the layer above the
@@ -112,10 +132,14 @@ func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 64 << 20
 	}
+	if cfg.SlowLogger == nil {
+		cfg.SlowLogger = log.Default()
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		jobs:      newJobRegistry(cfg.JobTTL),
+		httpDur:   obs.NewHistogramVec(nil),
 		tenants:   make(map[string]*wse.Tenant),
 		stopSweep: make(chan struct{}),
 		sweepDone: make(chan struct{}),
@@ -133,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/warm", s.api("warm", s.handleWarm))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
 }
 
@@ -219,14 +244,33 @@ func (s *Server) requestTimeout(r *http.Request) time.Duration {
 }
 
 // api wraps an endpoint handler with the serving middleware: drain
-// gating, in-flight accounting, per-endpoint status metrics and
-// failpoints, the per-request deadline, and panic isolation — a handler
+// gating, in-flight accounting, per-endpoint status metrics and the
+// request-duration histogram, the per-request root trace span (joining
+// the caller's trace via traceparent), failpoints, the per-request
+// deadline, the slow-request log, and panic isolation — a handler
 // panic (or an injected serve.<endpoint> panic) is recovered into a
 // typed 500 instead of crashing the daemon's connection goroutine.
 func (s *Server) api(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
-		defer func() { s.http.record(endpoint, sw.code()) }()
+		start := time.Now()
+		ctx, span := s.cfg.Tracer.Root(r.Context(), "http "+endpoint, r.Header.Get(obs.Header))
+		if span != nil {
+			span.SetAttr("tenant", tenantName(r))
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			code := sw.code()
+			s.http.record(endpoint, code)
+			dur := time.Since(start)
+			s.httpDur.Observe(httpLabel(endpoint, code), dur.Seconds())
+			if code >= 500 {
+				span.SetError(fmt.Errorf("http %d", code))
+			}
+			span.SetAttr("code", code)
+			span.End()
+			s.maybeLogSlow(endpoint, r, span, code, dur)
+		}()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.httpPanics.Add(1)
@@ -426,12 +470,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // decode parses a JSON request body, mapping malformed JSON to 400.
+// The span makes wire-side work visible in traces: on big inputs the
+// JSON decode is a real phase of the request, not tracer dark matter.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	_, sp := obs.Start(r.Context(), "serve.decode")
+	err := json.NewDecoder(r.Body).Decode(v)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
 	return true
+}
+
+// writeJSONCtx is writeJSON under a "serve.encode" span — used on the
+// result-bearing paths where response assembly and serialization are a
+// measurable phase of the request.
+func writeJSONCtx(ctx context.Context, w http.ResponseWriter, code int, v any) {
+	_, sp := obs.Start(ctx, "serve.encode")
+	writeJSON(w, code, v)
+	sp.End()
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -449,7 +508,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeVerbError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, reportWire(rep))
+	writeJSONCtx(r.Context(), w, http.StatusOK, reportWire(rep))
 }
 
 type estimateRequest struct {
@@ -552,7 +611,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		wire := reportWire(rep)
-		writeJSON(w, http.StatusOK, jobResponse{ID: id, State: "done", Result: &wire})
+		writeJSONCtx(r.Context(), w, http.StatusOK, jobResponse{ID: id, State: "done", Result: &wire})
 	default:
 		writeJSON(w, http.StatusOK, jobResponse{ID: id, State: "pending"})
 	}

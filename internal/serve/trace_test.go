@@ -1,0 +1,309 @@
+package serve
+
+// End-to-end tracing tests: one request produces one committed trace
+// whose span tree crosses the serve → sched → resolve → fabric seams
+// (and, in fleet mode, the front → worker network hop) under a single
+// trace id; failures mark the failing span and ride up to the root.
+
+import (
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	wse "repro"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// syncLogBuffer is a mutex-guarded log sink: the slow-request line is
+// written from the handler goroutine while the test reads it.
+type syncLogBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncLogBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncLogBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func newBufLogger(w *syncLogBuffer) *log.Logger { return log.New(w, "", 0) }
+
+// waitTraces polls a tracer's ring until n traces are committed. The
+// root span commits in the handler's defer, which can run a beat after
+// the client has the response, so assertions poll instead of racing.
+func waitTraces(t *testing.T, tr *obs.Tracer, n int) []*obs.Trace {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		traces := tr.Traces(0, 0)
+		if len(traces) >= n {
+			return traces
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d committed traces, have %d", n, len(traces))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// spanByName finds the first span with the given name, or fails.
+func spanByName(t *testing.T, tr *obs.Trace, name string) obs.SpanRecord {
+	t.Helper()
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("trace %s has no span %q (spans: %v)", tr.TraceID, name, spanNames(tr))
+	return obs.SpanRecord{}
+}
+
+func spanNames(tr *obs.Trace) []string {
+	names := make([]string, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	return names
+}
+
+// TestTraceEndToEnd: one /v1/run at 100% sampling commits one trace
+// whose tree crosses every instrumented seam: the http root span parents
+// the scheduler's queue and exec spans and the resolve span, and the
+// fabric execution nests under exec (it runs on the scheduler's worker
+// with the exec span's context).
+func TestTraceEndToEnd(t *testing.T) {
+	tracer := obs.NewTracer(obs.Config{Sample: 1})
+	defer tracer.Close()
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+
+	tr := waitTraces(t, tracer, 1)[0]
+	if tr.Root != "http run" {
+		t.Fatalf("root span = %q, want \"http run\"", tr.Root)
+	}
+	if tr.Error != "" {
+		t.Fatalf("trace unexpectedly errored: %s", tr.Error)
+	}
+
+	root := spanByName(t, tr, "http run")
+	if root.Parent != "" {
+		t.Fatalf("root span has parent %q", root.Parent)
+	}
+	if got := root.Attrs["code"]; got != 200 {
+		t.Fatalf("root code attr = %v, want 200", got)
+	}
+
+	queue := spanByName(t, tr, "sched.queue")
+	exec := spanByName(t, tr, "sched.exec")
+	resolve := spanByName(t, tr, "plan.resolve")
+	fabric := spanByName(t, tr, "fabric.exec")
+	for name, sp := range map[string]obs.SpanRecord{"sched.queue": queue, "sched.exec": exec, "plan.resolve": resolve} {
+		if sp.Parent != root.ID {
+			t.Errorf("%s parent = %q, want root %q", name, sp.Parent, root.ID)
+		}
+	}
+	if fabric.Parent != exec.ID {
+		t.Errorf("fabric.exec parent = %q, want sched.exec %q", fabric.Parent, exec.ID)
+	}
+	if fabric.Attrs["cycles"] == nil || fabric.Attrs["steps"] == nil {
+		t.Errorf("fabric.exec span missing cycles/steps attrs: %v", fabric.Attrs)
+	}
+	if exec.Attrs["tenant"] == nil {
+		t.Errorf("sched.exec span missing tenant attr: %v", exec.Attrs)
+	}
+}
+
+// TestTraceFleetSingleID: a request through the front produces traces
+// on both tiers under ONE trace id — the front's root span mints it, the
+// forward injects the traceparent, and the worker's root span joins it.
+func TestTraceFleetSingleID(t *testing.T) {
+	wtr := obs.NewTracer(obs.Config{Sample: 1})
+	defer wtr.Close()
+	ftr := obs.NewTracer(obs.Config{Sample: 1})
+	defer ftr.Close()
+
+	sess := wse.NewSession(wse.SessionConfig{})
+	s := New(Config{Session: sess, Tracer: wtr})
+	wts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		wts.Close()
+		s.stopSweeper()
+		sess.Close()
+	})
+	f := NewFront(FrontConfig{Workers: []string{wts.URL}, Cooldown: time.Minute, Tracer: ftr})
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(fts.Close)
+
+	resp, body := post(t, fts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run via front: status %d: %s", resp.StatusCode, body)
+	}
+
+	ftrace := waitTraces(t, ftr, 1)[0]
+	wtrace := waitTraces(t, wtr, 1)[0]
+	if ftrace.TraceID != wtrace.TraceID {
+		t.Fatalf("trace id split across tiers: front %s, worker %s", ftrace.TraceID, wtrace.TraceID)
+	}
+	if ftrace.Root != "front run" {
+		t.Errorf("front root = %q, want \"front run\"", ftrace.Root)
+	}
+	if wtrace.Root != "http run" {
+		t.Errorf("worker root = %q, want \"http run\"", wtrace.Root)
+	}
+	fwd := spanByName(t, ftrace, "front.forward")
+	if fwd.Attrs["worker"] != wts.URL {
+		t.Errorf("front.forward worker attr = %v, want %s", fwd.Attrs["worker"], wts.URL)
+	}
+	// The worker's spans carry the shared trace id too — the whole
+	// request is reconstructible by joining the two rings on trace id.
+	spanByName(t, wtrace, "fabric.exec")
+}
+
+// TestTraceExecFailpointError: an injected fabric.exec fault must mark
+// the failing span AND the root: the exec span records the error where
+// it happened, and the root span records the resulting 500 — the trace
+// answers "which request failed" and "where" in one artifact.
+func TestTraceExecFailpointError(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("fabric.exec", faults.Point{Count: 1})
+
+	tracer := obs.NewTracer(obs.Config{Sample: 1})
+	defer tracer.Close()
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("run with armed fabric.exec failpoint: status %d, want 500: %s", resp.StatusCode, body)
+	}
+
+	tr := waitTraces(t, tracer, 1)[0]
+	if tr.Error == "" {
+		t.Fatal("trace of a failed request carries no error")
+	}
+	fabric := spanByName(t, tr, "fabric.exec")
+	if fabric.Error == "" {
+		t.Error("fabric.exec span did not record the injected fault")
+	}
+	exec := spanByName(t, tr, "sched.exec")
+	if exec.Error == "" {
+		t.Error("sched.exec span did not record the propagated fault")
+	}
+	root := spanByName(t, tr, "http run")
+	if root.Error == "" {
+		t.Error("root span did not record the 500")
+	}
+	if got := root.Attrs["code"]; got != 500 {
+		t.Errorf("root code attr = %v, want 500", got)
+	}
+}
+
+// TestDebugTracesEndpoint: 404 while tracing is off (probes can tell
+// "off" from "empty"), 200 with a JSON list when on, 400 on bad params.
+func TestDebugTracesEndpoint(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, _ := get(t, off.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traces with tracing off: status %d, want 404", resp.StatusCode)
+	}
+
+	tracer := obs.NewTracer(obs.Config{Sample: 1})
+	defer tracer.Close()
+	_, on := newTestServer(t, Config{Tracer: tracer})
+	resp, body := get(t, on.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces with tracing on: status %d", resp.StatusCode)
+	}
+	if strings.TrimSpace(string(body)) != "[]" {
+		t.Fatalf("empty ring should serve [], got %s", body)
+	}
+	resp, _ = get(t, on.URL+"/debug/traces?min_ms=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad min_ms: status %d, want 400", resp.StatusCode)
+	}
+
+	post(t, on.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	waitTraces(t, tracer, 1)
+	resp, body = get(t, on.URL+"/debug/traces?min_ms=0&limit=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces after traffic: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"trace_id"`) || !strings.Contains(string(body), "http run") {
+		t.Fatalf("trace listing missing expected fields: %s", body)
+	}
+}
+
+// TestMetricsObservability: the new /metrics families exist and move —
+// latency histograms for http and queue wait, and the runtime health
+// gauges — after one served request.
+func TestMetricsObservability(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	text := string(metrics)
+	for _, want := range []string{
+		`wse_http_request_duration_seconds_bucket{route="run",code="200",le="`,
+		`wse_http_request_duration_seconds_count{route="run",code="200"}`,
+		`wse_sched_queue_wait_seconds_bucket{class="`,
+		`wse_sched_queue_wait_seconds_count{class="`,
+		"\nwse_goroutines ",
+		"\nwse_heap_alloc_bytes ",
+		"\nwse_gc_pause_seconds_total ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The histogram buckets are cumulative and end at +Inf == _count.
+	if !strings.Contains(text, `wse_http_request_duration_seconds_bucket{route="run",code="200",le="+Inf"} `) {
+		t.Error("/metrics missing +Inf bucket for http duration histogram")
+	}
+}
+
+// TestSlowRequestLog: a request slower than the threshold emits exactly
+// one structured line carrying the trace id and a phase breakdown.
+func TestSlowRequestLog(t *testing.T) {
+	tracer := obs.NewTracer(obs.Config{Sample: 1})
+	defer tracer.Close()
+	var buf syncLogBuffer
+	logger := newBufLogger(&buf)
+	_, ts := newTestServer(t, Config{Tracer: tracer, SlowThreshold: time.Nanosecond, SlowLogger: logger})
+
+	resp, body := post(t, ts.URL+"/v1/run", runBody("reduce1d", 8, 4), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	tr := waitTraces(t, tracer, 1)[0]
+
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	line := buf.String()
+	for _, want := range []string{"slow-request", "trace_id=" + tr.TraceID, "route=run", "code=200", "phases=["} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log line missing %q: %s", want, line)
+		}
+	}
+	if !strings.Contains(line, "sched.exec=") {
+		t.Errorf("slow log phases missing sched.exec self-time: %s", line)
+	}
+}

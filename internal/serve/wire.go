@@ -68,6 +68,7 @@ type StatsWire struct {
 	MaxReceived int64 `json:"max_received"`
 	MaxQueueLen int   `json:"max_queue_len"`
 	Noops       int64 `json:"noops,omitempty"`
+	Steps       int64 `json:"steps,omitempty"`
 }
 
 // ReportWire is the result of a run as it appears on the wire: measured
@@ -92,6 +93,7 @@ func reportWire(rep *wse.Report) ReportWire {
 			MaxReceived: rep.Stats.MaxReceived,
 			MaxQueueLen: rep.Stats.MaxQueueLen,
 			Noops:       rep.Stats.Noops,
+			Steps:       rep.Stats.Steps,
 		},
 	}
 }
