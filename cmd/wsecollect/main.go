@@ -33,6 +33,19 @@
 //	    fetch a daemon's committed traces (GET /debug/traces) or read a
 //	    -trace-file JSONL, and pretty-print each span tree with per-span
 //	    self-times — the "where did the milliseconds go" view.
+//	wsecollect tune [-file FILE.wl | shape flags] [-tunings OUT.json] [-store DIR]
+//	    autotune the plan parameters (algorithm, queue depth, shards) of a
+//	    workload's shapes — or the single flag shape — scoring every winner
+//	    against the paper's lower bound; -tunings writes the winners as a
+//	    sidecar, -store exports their compiled plans so a fleet inherits
+//	    them with zero recompilation.
+//	wsecollect workload run -file FILE.wl [-tunings IN.json] [-sequential]
+//	    execute a workload file as a DAG through a session: independent
+//	    steps overlap via Submit futures, dependency results flow into
+//	    dependent steps' inputs, and the per-step table reports cycles and
+//	    the measured overlap.
+//	wsecollect workload funcs
+//	    list the registered step functions a workload file can use.
 //
 // Examples:
 //
@@ -99,6 +112,9 @@ type config struct {
 	failpoints string
 	in         string
 	minMS      float64
+	file       string
+	tunings    string
+	sequential bool
 	// set records which flags were passed explicitly, for defaults that
 	// differ per subcommand (serve bursts -repeat 64 unless given).
 	set map[string]bool
@@ -135,6 +151,9 @@ func parseFlags(cmd string, args []string) (*config, error) {
 	fs.StringVar(&c.failpoints, "failpoints", "", "chaos: failpoint schedule for the in-process daemon (site=mode[:p=F][:count=N][:delay=D], semicolon list; default: 5% error on every inner seam)")
 	fs.StringVar(&c.in, "in", "", "trace: read traces from this JSONL file (a wsed -trace-file) instead of -url")
 	fs.Float64Var(&c.minMS, "min-ms", 0, "trace: only show traces at least this slow")
+	fs.StringVar(&c.file, "file", "", "workload/tune: workload file to run or tune (step lines, see workload funcs)")
+	fs.StringVar(&c.tunings, "tunings", "", "tune: write the tunings sidecar here; workload run: apply tunings from here")
+	fs.BoolVar(&c.sequential, "sequential", false, "workload run: execute steps one at a time instead of overlapping independent steps")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -150,6 +169,12 @@ func realMain() int {
 	cmd := "run"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		cmd, args = args[0], args[1:]
+	}
+	// workload takes a sub-verb (run, funcs) that must be peeled before
+	// flag parsing, which stops at the first non-flag argument.
+	sub := ""
+	if cmd == "workload" && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
 	}
 	c, err := parseFlags(cmd, args)
 	if err == flag.ErrHelp {
@@ -188,8 +213,12 @@ func realMain() int {
 		err = chaosCmd(c)
 	case "trace":
 		err = traceCmd(c)
+	case "tune":
+		err = tuneCmd(c)
+	case "workload":
+		err = workloadCmd(c, sub)
 	default:
-		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load, chaos, trace)", cmd)
+		err = fmt.Errorf("unknown subcommand %q (run, export, warm, serve, load, chaos, trace, tune, workload)", cmd)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsecollect:", err)

@@ -1,0 +1,22 @@
+# One data-parallel training step as a workload DAG.
+#
+# The forward pass ends in a GEMV whose row-wise inner reduction feeds
+# two independent consumers — the gradient AllReduce across the data-
+# parallel row and a max-norm AllReduce the gradient clipper reads —
+# which the executor overlaps; the optimizer's ReduceScatter joins them,
+# and an AllGather redistributes the updated shards. A halo broadcast
+# seeds the activations.
+#
+# Run it:     wsecollect workload run -file examples/workloads/trainstep.wl
+# Tune it:    wsecollect tune -file examples/workloads/trainstep.wl \
+#                 -tunings tunings.json -store ./plans
+# Run tuned:  wsecollect workload run -file examples/workloads/trainstep.wl \
+#                 -tunings tunings.json -store ./plans
+
+workload train-step
+step halo p=64 b=256
+step gemv p=64 b=256 after=halo
+step allreduce p=64 b=256 name=grad-allreduce after=gemv
+step allreduce p=64 b=64 op=max name=grad-norm after=gemv
+step reducescatter p=64 b=256 name=optim after=grad-allreduce,grad-norm
+step allgather p=64 b=256 name=redistribute after=optim

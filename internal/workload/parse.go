@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse reads the line-oriented workload file format:
+//
+//	# comment
+//	workload train-step
+//	step gemv p=256 b=64
+//	step allreduce p=256 b=64 after=gemv
+//	step allreduce p=256 b=64 name=second after=allreduce
+//
+// Each step line names a registered step function followed by key=value
+// parameters. Keys are case-insensitive (B=16 and b=16 agree). Two keys
+// are reserved for the workload layer: name= renames the step (required
+// when one function appears twice) and after= lists comma-separated
+// dependencies. The parsed workload is validated before being returned;
+// every failure wraps ErrBadWorkload and names the offending line.
+func Parse(r io.Reader, defaultName string) (*Workload, error) {
+	w := &Workload{Name: defaultName}
+	sc := bufio.NewScanner(r)
+	named := false
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "workload":
+			if len(fields) != 2 {
+				return nil, badWorkload("line %d: workload wants exactly one name", lineNo)
+			}
+			if named {
+				return nil, badWorkload("line %d: workload named twice", lineNo)
+			}
+			w.Name, named = fields[1], true
+		case "step":
+			if len(fields) < 2 {
+				return nil, badWorkload("line %d: step wants a step-function name", lineNo)
+			}
+			st, err := parseStep(fields[1], fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %w", ErrBadWorkload, lineNo, err)
+			}
+			if err := w.add(st); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, badWorkload("line %d: unknown directive %q (want workload or step)", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// parseStep resolves one step line's function name and key=value fields.
+func parseStep(fn string, kvs []string) (*Step, error) {
+	params := Params{}
+	name := fn
+	var after []string
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("step %s: %q is not key=value", fn, kv)
+		}
+		switch k = strings.ToLower(k); k {
+		case "name":
+			name = v
+		case "after":
+			for _, dep := range strings.Split(v, ",") {
+				if dep = strings.TrimSpace(dep); dep != "" {
+					after = append(after, dep)
+				}
+			}
+		default:
+			if _, dup := params[k]; dup {
+				return nil, fmt.Errorf("step %s: param %q given twice", fn, k)
+			}
+			params[k] = v
+		}
+	}
+	f, ok := LookupFunc(fn)
+	if !ok {
+		return nil, fmt.Errorf("step %q: unknown step function %q", name, fn)
+	}
+	sh, err := f.Fn(params)
+	if err != nil {
+		return nil, fmt.Errorf("step %q: %w", name, err)
+	}
+	return &Step{Name: name, Func: fn, Shape: sh, After: after}, nil
+}
+
+// ParseFile parses the workload file at path; the workload's default
+// name is the file's base name.
+func ParseFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".wl")
+	return Parse(f, base)
+}

@@ -1,0 +1,257 @@
+// Package workload is the declarative scenario layer over the Shape-first
+// verbs: real uses of the fabric are compositions — a training step is an
+// allreduce after a gemv, a stencil sweep interleaves halo broadcasts —
+// and this package turns such compositions into a DAG of Shapes executed
+// through a Session with dependency-aware overlap.
+//
+// The front door is a registry of named step functions in the DeclFunc
+// idiom (mumax3's engine registers its script surface the same way): each
+// registered name maps step parameters (p=512 B=16 alg=tree ...) to a
+// wse.Shape, and carries a doc string the CLI can print. A workload is
+// declared either through the Builder API or a small line-oriented text
+// file:
+//
+//	workload train-step
+//	step gemv p=256 B=64
+//	step allreduce p=256 B=64 after=gemv
+//
+// Validate rejects malformed workloads (unknown step functions, dangling
+// after= references, dependency cycles) with errors wrapping the
+// ErrBadWorkload sentinel; Exec runs a valid workload through Submit
+// futures so independent steps overlap, joins Wait before dependents
+// fire, and parent results flow into child inputs deterministically.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	wse "repro"
+)
+
+// Params carries one step's key=value parameters, keys lowercased. The
+// reserved keys (name, after) are consumed by the workload layer and
+// never reach a StepFunc.
+type Params map[string]string
+
+// Int returns the integer parameter key, or def when absent.
+func (p Params) Int(key string, def int) (int, error) {
+	s, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("param %s=%q: want an integer", key, s)
+	}
+	return v, nil
+}
+
+// Str returns the string parameter key, or def when absent.
+func (p Params) Str(key, def string) string {
+	if s, ok := p[key]; ok {
+		return s
+	}
+	return def
+}
+
+// Grid parses the WxH grid parameter key, or returns the defaults.
+func (p Params) Grid(key string, defW, defH int) (w, h int, err error) {
+	s, ok := p[key]
+	if !ok {
+		return defW, defH, nil
+	}
+	if n, err := fmt.Sscanf(s, "%dx%d", &w, &h); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("param %s=%q: want WxH", key, s)
+	}
+	return w, h, nil
+}
+
+// StepFunc compiles one step's parameters into the Shape the step runs.
+type StepFunc func(Params) (wse.Shape, error)
+
+// Func is one registry entry: a named step function and its doc line.
+type Func struct {
+	Name string
+	Fn   StepFunc
+	Doc  string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Func{}
+)
+
+// Register declares a named step function, in the DeclFunc idiom: the
+// name becomes a verb of the workload file format and the Builder, doc
+// its one-line help. Empty names, nil functions and duplicate
+// registrations panic — registration is init-time wiring, not input.
+func Register(name string, fn StepFunc, doc string) {
+	if name == "" || fn == nil {
+		panic("workload: Register with empty name or nil func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("workload: Register called twice for " + name)
+	}
+	registry[name] = Func{Name: name, Fn: fn, Doc: doc}
+}
+
+// LookupFunc returns the registered step function for name.
+func LookupFunc(name string) (Func, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Funcs lists every registered step function, sorted by name — the
+// CLI's `workload funcs` help surface.
+func Funcs() []Func {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Func, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// paramOp resolves the op= parameter.
+func paramOp(p Params) (wse.ReduceOp, error) {
+	switch strings.ToLower(p.Str("op", "sum")) {
+	case "sum":
+		return wse.Sum, nil
+	case "max":
+		return wse.Max, nil
+	case "min":
+		return wse.Min, nil
+	}
+	return wse.Sum, fmt.Errorf("param op=%q: want sum, max or min", p["op"])
+}
+
+// checkKeys rejects parameter keys a step function does not consume, so
+// a typo (algo= for alg=) fails the build instead of silently running
+// the default.
+func checkKeys(p Params, allowed ...string) error {
+	for k := range p {
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown param %q (allowed: %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// rowFunc builds the StepFunc of a 1D kind: p= PEs, b= vector length,
+// alg= where the kind takes one, op= where one applies.
+func rowFunc(kind wse.Collective, hasAlg, hasOp bool) StepFunc {
+	return func(pr Params) (wse.Shape, error) {
+		allowed := []string{"p", "b"}
+		if hasAlg {
+			allowed = append(allowed, "alg")
+		}
+		if hasOp {
+			allowed = append(allowed, "op")
+		}
+		if err := checkKeys(pr, allowed...); err != nil {
+			return wse.Shape{}, err
+		}
+		p, err := pr.Int("p", 64)
+		if err != nil {
+			return wse.Shape{}, err
+		}
+		b, err := pr.Int("b", 64)
+		if err != nil {
+			return wse.Shape{}, err
+		}
+		sh := wse.Shape{Kind: kind, P: p, B: b}
+		if hasAlg {
+			sh.Alg = wse.Algorithm(pr.Str("alg", string(wse.Auto)))
+		}
+		if hasOp {
+			if sh.Op, err = paramOp(pr); err != nil {
+				return wse.Shape{}, err
+			}
+		}
+		return sh, nil
+	}
+}
+
+// gridFunc builds the StepFunc of a 2D kind: grid=WxH, b=, alg= and op=
+// where they apply.
+func gridFunc(kind wse.Collective, hasAlg, hasOp bool) StepFunc {
+	return func(pr Params) (wse.Shape, error) {
+		allowed := []string{"grid", "b"}
+		if hasAlg {
+			allowed = append(allowed, "alg")
+		}
+		if hasOp {
+			allowed = append(allowed, "op")
+		}
+		if err := checkKeys(pr, allowed...); err != nil {
+			return wse.Shape{}, err
+		}
+		w, h, err := pr.Grid("grid", 16, 16)
+		if err != nil {
+			return wse.Shape{}, err
+		}
+		b, err := pr.Int("b", 64)
+		if err != nil {
+			return wse.Shape{}, err
+		}
+		sh := wse.Shape{Kind: kind, Width: w, Height: h, B: b}
+		if hasAlg {
+			sh.Alg2D = wse.Algorithm2D(pr.Str("alg", string(wse.Auto2D)))
+		}
+		if hasOp {
+			if sh.Op, err = paramOp(pr); err != nil {
+				return wse.Shape{}, err
+			}
+		}
+		return sh, nil
+	}
+}
+
+// The built-in step vocabulary: one function per collective kind, plus
+// domain-named aliases (gemv's inner reduction, the halo broadcast of a
+// stencil sweep) so workload files read as the scenario they model.
+func init() {
+	Register("reduce", rowFunc(wse.KindReduce, true, true),
+		"1D Reduce of p vectors of b wavelets into the leftmost PE (alg=, op=)")
+	Register("allreduce", rowFunc(wse.KindAllReduce, true, true),
+		"1D AllReduce: every PE ends with the combined vector (alg=, op=)")
+	Register("allreduce-midroot", rowFunc(wse.KindAllReduceMidRoot, true, true),
+		"AllReduce rooted at the middle PE with a bidirectional flood (alg=, op=)")
+	Register("broadcast", rowFunc(wse.KindBroadcast, false, false),
+		"1D flooding broadcast of b wavelets across p PEs")
+	Register("scatter", rowFunc(wse.KindScatter, false, false),
+		"deliver balanced chunks of a b-element vector to p PEs")
+	Register("gather", rowFunc(wse.KindGather, false, false),
+		"assemble per-PE chunks into the full vector at the leftmost PE")
+	Register("reducescatter", rowFunc(wse.KindReduceScatter, false, true),
+		"combine p vectors and leave chunk j on PE j (op=)")
+	Register("allgather", rowFunc(wse.KindAllGather, false, false),
+		"distribute per-PE chunks so every PE ends with the full vector")
+	Register("reduce2d", gridFunc(wse.KindReduce2D, true, true),
+		"2D Reduce on a grid=WxH mesh into PE (0,0) (alg=, op=)")
+	Register("allreduce2d", gridFunc(wse.KindAllReduce2D, true, true),
+		"2D AllReduce on a grid=WxH mesh (alg=, op=)")
+	Register("broadcast2d", gridFunc(wse.KindBroadcast2D, false, false),
+		"2D flooding broadcast across a grid=WxH mesh")
+	Register("gemv", rowFunc(wse.KindReduce, true, true),
+		"matrix-vector product: the row-wise inner reduction of a GEMV (alias of reduce)")
+	Register("halo", rowFunc(wse.KindBroadcast, false, false),
+		"stencil halo exchange: flood the boundary vector across the row (alias of broadcast)")
+}

@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	wse "repro"
+)
+
+// Every Validate failure mode must wrap the ErrBadWorkload sentinel and
+// name the offender, one sub-test per mode.
+func TestValidateFailureModes(t *testing.T) {
+	sh := wse.Shape{Kind: wse.KindBroadcast, P: 4, B: 8}
+
+	t.Run("unknown step function", func(t *testing.T) {
+		w := &Workload{Name: "bad"}
+		if err := w.add(&Step{Name: "a", Func: "no-such-func", Shape: sh}); err != nil {
+			t.Fatal(err)
+		}
+		err := w.Validate()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "no-such-func") {
+			t.Fatalf("error does not name the function: %v", err)
+		}
+	})
+
+	t.Run("bad shape", func(t *testing.T) {
+		_, err := New("bad").StepShape("a", wse.Shape{Kind: wse.KindReduce, P: 0, B: 8}).Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		if !errors.Is(err, wse.ErrBadShape) {
+			t.Fatalf("shape failure should also wrap ErrBadShape: %v", err)
+		}
+	})
+
+	t.Run("dangling after", func(t *testing.T) {
+		_, err := New("bad").StepShape("a", sh, "ghost").Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "ghost") {
+			t.Fatalf("error does not name the dangling reference: %v", err)
+		}
+	})
+
+	t.Run("duplicate step name", func(t *testing.T) {
+		_, err := New("bad").StepShape("a", sh).StepShape("a", sh).Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("error does not say duplicate: %v", err)
+		}
+	})
+
+	t.Run("cycle", func(t *testing.T) {
+		_, err := New("bad").
+			StepShape("a", sh, "c").
+			StepShape("b", sh, "a").
+			StepShape("c", sh, "b").
+			Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		for _, name := range []string{"a", "b", "c"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("cycle error does not name member %q: %v", name, err)
+			}
+		}
+	})
+
+	t.Run("self cycle", func(t *testing.T) {
+		_, err := New("bad").StepShape("a", sh, "a").Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+	})
+
+	t.Run("unknown builder function", func(t *testing.T) {
+		_, err := New("bad").Step("definitely-not-registered", nil).Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+	})
+
+	t.Run("unknown param key", func(t *testing.T) {
+		_, err := New("bad").Step("reduce", Params{"algo": "tree"}).Build()
+		if !errors.Is(err, ErrBadWorkload) {
+			t.Fatalf("want ErrBadWorkload, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "algo") {
+			t.Fatalf("error does not name the bad key: %v", err)
+		}
+	})
+}
+
+func TestBuilderNameParamAndTopo(t *testing.T) {
+	w, err := New("two-gemv").
+		Step("gemv", Params{"p": "4", "b": "8"}).
+		Step("gemv", Params{"p": "4", "b": "8", "name": "gemv2"}, "gemv").
+		Step("allreduce", Params{"p": "4", "b": "8"}, "gemv2", "gemv").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Step("gemv2") == nil || w.Step("gemv2").Func != "gemv" {
+		t.Fatalf("name= rename lost: %+v", w.Steps())
+	}
+	order, err := w.topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(order))
+	for i, st := range order {
+		got[i] = st.Name
+	}
+	want := []string{"gemv", "gemv2", "allreduce"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topo order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { Register("", func(Params) (wse.Shape, error) { return wse.Shape{}, nil }, "") })
+	mustPanic("nil func", func() { Register("x-nil", nil, "") })
+	mustPanic("duplicate", func() { Register("reduce", func(Params) (wse.Shape, error) { return wse.Shape{}, nil }, "") })
+}
+
+func TestFuncsSortedAndDocumented(t *testing.T) {
+	fns := Funcs()
+	if len(fns) < 11 {
+		t.Fatalf("want at least one step function per collective kind, got %d", len(fns))
+	}
+	for i, f := range fns {
+		if f.Doc == "" {
+			t.Errorf("func %s has no doc", f.Name)
+		}
+		if i > 0 && fns[i-1].Name >= f.Name {
+			t.Fatalf("Funcs not sorted: %s >= %s", fns[i-1].Name, f.Name)
+		}
+	}
+}
+
+func TestParseGrammar(t *testing.T) {
+	src := `
+# a training step
+workload train-step
+step gemv p=6 B=12 alg=tree          # keys are case-insensitive
+step allreduce p=6 b=12 op=max after=gemv
+step gemv p=6 b=12 name=gemv2 after=gemv,allreduce
+`
+	w, err := Parse(strings.NewReader(src), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "train-step" {
+		t.Fatalf("workload name %q", w.Name)
+	}
+	if len(w.Steps()) != 3 {
+		t.Fatalf("want 3 steps, got %d", len(w.Steps()))
+	}
+	g := w.Step("gemv")
+	if g.Shape.Kind != wse.KindReduce || g.Shape.P != 6 || g.Shape.B != 12 || g.Shape.Alg != wse.Tree {
+		t.Fatalf("gemv shape %+v", g.Shape)
+	}
+	ar := w.Step("allreduce")
+	if ar.Shape.Op != wse.Max || len(ar.After) != 1 || ar.After[0] != "gemv" {
+		t.Fatalf("allreduce step %+v", ar)
+	}
+	g2 := w.Step("gemv2")
+	if len(g2.After) != 2 || g2.After[0] != "gemv" || g2.After[1] != "allreduce" {
+		t.Fatalf("after list %v", g2.After)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive":  "run gemv p=4\n",
+		"unknown function":   "step warp p=4\n",
+		"not key=value":      "step gemv p4\n",
+		"duplicate param":    "step gemv p=4 p=8\n",
+		"workload twice":     "workload a\nworkload b\n",
+		"missing step name":  "step\n",
+		"dangling after":     "step gemv p=4 after=ghost\n",
+		"bad integer":        "step gemv p=four\n",
+		"duplicate step":     "step gemv p=4\nstep gemv p=4\n",
+		"workload two names": "workload a b\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src), "t"); !errors.Is(err, ErrBadWorkload) {
+			t.Errorf("%s: want ErrBadWorkload, got %v", name, err)
+		}
+	}
+}
+
+func TestShapesDedup(t *testing.T) {
+	w, err := New("dup").
+		Step("gemv", Params{"p": "4", "b": "8"}).
+		Step("gemv", Params{"p": "4", "b": "8", "name": "again"}).
+		Step("broadcast", Params{"p": "4", "b": "8"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Shapes()); got != 2 {
+		t.Fatalf("want 2 distinct shapes, got %d", got)
+	}
+}
